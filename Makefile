@@ -1,0 +1,29 @@
+# Developer entry points for the Poseidon reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench examples tables quicktest all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+quicktest:
+	$(PYTHON) -m pytest tests/ -x -q -k "not bootstrap and not properties"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/private_statistics.py
+	$(PYTHON) examples/encrypted_convolution.py
+	$(PYTHON) examples/hfauto_walkthrough.py
+	$(PYTHON) examples/batch_serving.py
+	$(PYTHON) examples/accelerator_simulation.py
+
+tables:
+	$(PYTHON) -m repro.cli summary
+	$(PYTHON) -m repro.cli table4
+	$(PYTHON) -m repro.cli fig10
+
+all: test bench

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Workload simulations are expensive (tens of thousands of operator
+tasks), so every bench that needs "run benchmark X on config Y" goes
+through the memoized helpers here; the result is computed once per
+pytest session no matter how many tables consume it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compiler.program import OperatorProgram, compile_trace
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator, SimulationResult
+from repro.workloads import PAPER_BENCHMARKS
+
+
+@lru_cache(maxsize=16)
+def benchmark_program(name: str) -> OperatorProgram:
+    """Compiled operator program of one paper benchmark."""
+    return compile_trace(PAPER_BENCHMARKS[name]())
+
+
+@lru_cache(maxsize=64)
+def benchmark_result(
+    name: str,
+    *,
+    lanes: int = 512,
+    use_hfauto: bool = True,
+    radix: int = 3,
+) -> SimulationResult:
+    """Memoized simulation of one paper benchmark on one config."""
+    config = HardwareConfig(use_hfauto=use_hfauto).with_lanes(lanes)
+    config = config.with_radix(radix)
+    return PoseidonSimulator(config).run(benchmark_program(name))
+
+
+def poseidon_ms(name: str, **kwargs) -> float:
+    """Benchmark time in the paper's units (LR is per-iteration)."""
+    ms = benchmark_result(name, **kwargs).total_seconds * 1e3
+    if name == "LR":
+        ms /= 10.0
+    return ms
+
+
+def print_banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

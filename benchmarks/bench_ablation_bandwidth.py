@@ -1,0 +1,63 @@
+"""Ablation: HBM bandwidth sensitivity — the 'memory wall' the paper
+motivates with (§I: ciphertext inflation exacerbates data movement).
+
+Sweeps the off-chip bandwidth from DDR-class (25 GB/s) through the
+U280's HBM (460 GB/s) to ASIC-paper territory (2 TB/s) on the
+bandwidth-hungry HAdd/PMult mix and on the compute-dense bootstrap,
+showing which side of the design each workload stresses.
+"""
+
+import dataclasses
+
+from repro.analysis.report import render_table
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator
+
+from _shared import benchmark_program, print_banner
+
+BANDWIDTHS = (25e9, 100e9, 460e9, 1e12, 2e12)
+N, L = 1 << 16, 44
+
+
+def sweep():
+    streaming_ops = compile_trace(
+        [FheOp.make(FheOpName.HADD, N, L) for _ in range(8)]
+        + [FheOp.make(FheOpName.PMULT, N, L) for _ in range(8)]
+    )
+    boot = benchmark_program("Packed Bootstrapping")
+    rows = []
+    for bw in BANDWIDTHS:
+        config = dataclasses.replace(HardwareConfig(), hbm_bandwidth=bw)
+        sim = PoseidonSimulator(config)
+        rows.append(
+            {
+                "bandwidth_gbps": bw / 1e9,
+                "streaming_ms": sim.run(streaming_ops).total_seconds * 1e3,
+                "bootstrap_ms": sim.run(boot).total_seconds * 1e3,
+            }
+        )
+    return rows
+
+
+def test_bandwidth_sensitivity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_banner("Ablation — HBM bandwidth sensitivity")
+    print(render_table(
+        ["bandwidth_gbps", "streaming_ms", "bootstrap_ms"], rows
+    ))
+
+    by_bw = {r["bandwidth_gbps"]: r for r in rows}
+    # The streaming mix scales ~linearly with bandwidth until compute
+    # binds; DDR-class starves it badly.
+    assert by_bw[25.0]["streaming_ms"] > 10 * by_bw[460.0]["streaming_ms"]
+    # The bootstrap is compute-dense: doubling HBM beyond 460 GB/s
+    # buys comparatively little (the paper's balance argument).
+    stream_gain = (
+        by_bw[460.0]["streaming_ms"] / by_bw[2000.0]["streaming_ms"]
+    )
+    boot_gain = (
+        by_bw[460.0]["bootstrap_ms"] / by_bw[2000.0]["bootstrap_ms"]
+    )
+    assert boot_gain < stream_gain

@@ -1,0 +1,57 @@
+"""Ablation: ring-degree sensitivity of the accelerator.
+
+Sweeps N over the paper's stated range (2^12 .. 2^17, §II-A.5) at a
+fixed limb count and reports per-operation latency. Complements the
+paper's fixed-N tables: the NTT's N log N growth and HFAuto's
+advantage expanding with N are both visible.
+"""
+
+from repro.analysis.report import render_table
+from repro.compiler.ops import FheOp, FheOpName
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator
+
+from _shared import print_banner
+
+L, AUX = 20, 4
+
+
+def sweep():
+    fast = PoseidonSimulator(HardwareConfig(use_hfauto=True))
+    slow = PoseidonSimulator(HardwareConfig(use_hfauto=False))
+    rows = []
+    for logn in (12, 13, 14, 15, 16, 17):
+        n = 1 << logn
+        cmult = fast.operation_seconds(
+            FheOp.make(FheOpName.CMULT, n, L, aux_limbs=AUX)
+        )
+        rot = FheOp.make(FheOpName.ROTATION, n, L, aux_limbs=AUX)
+        rot_fast = fast.operation_seconds(rot)
+        rot_slow = slow.operation_seconds(rot)
+        rows.append(
+            {
+                "logN": logn,
+                "cmult_us": cmult * 1e6,
+                "rotation_us": rot_fast * 1e6,
+                "rotation_naive_us": rot_slow * 1e6,
+                "hfauto_gain": rot_slow / rot_fast,
+            }
+        )
+    return rows
+
+
+def test_degree_sensitivity(benchmark):
+    rows = benchmark(sweep)
+    print_banner("Ablation — ring degree sweep (L=20)")
+    print(render_table(
+        ["logN", "cmult_us", "rotation_us", "rotation_naive_us",
+         "hfauto_gain"],
+        rows,
+    ))
+
+    # Costs grow monotonically with N.
+    cmults = [r["cmult_us"] for r in rows]
+    assert cmults == sorted(cmults)
+    # HFAuto's advantage expands with N (the naive core is O(N)).
+    gains = [r["hfauto_gain"] for r in rows]
+    assert gains[-1] > gains[0]

@@ -1,0 +1,48 @@
+"""Ablation: hybrid-keyswitch width (special primes / digit count).
+
+Not a paper table, but the design choice behind its keyswitch
+performance: more special primes -> fewer, wider digits -> fewer
+extended-basis NTTs per keyswitch, at the cost of more limbs per
+product. The sweep shows CMult throughput vs alpha.
+"""
+
+from repro.analysis.report import render_table
+from repro.compiler.ops import FheOp, FheOpName
+from repro.sim.engine import PoseidonSimulator
+
+from _shared import print_banner
+
+N, L = 1 << 16, 44
+
+
+def sweep():
+    sim = PoseidonSimulator()
+    rows = []
+    for aux in (1, 2, 3, 4, 6, 8):
+        op = FheOp.make(FheOpName.CMULT, N, L, aux_limbs=aux)
+        seconds = sim.operation_seconds(op)
+        rows.append(
+            {
+                "aux_limbs": aux,
+                "digits": -(-(L + 1) // aux),
+                "cmult_ms": seconds * 1e3,
+                "ops_per_s": 1.0 / seconds,
+            }
+        )
+    return rows
+
+
+def test_keyswitch_width_ablation(benchmark):
+    rows = benchmark(sweep)
+    print_banner("Ablation — hybrid keyswitch width (CMult, N=2^16, L=44)")
+    print(render_table(
+        ["aux_limbs", "digits", "cmult_ms", "ops_per_s"], rows
+    ))
+
+    by_aux = {r["aux_limbs"]: r for r in rows}
+    # Widening digits must help substantially over per-limb gadgets.
+    assert by_aux[4]["ops_per_s"] > 2 * by_aux[1]["ops_per_s"]
+    # Diminishing returns: 4 -> 8 gains less than 1 -> 4.
+    gain_14 = by_aux[4]["ops_per_s"] / by_aux[1]["ops_per_s"]
+    gain_48 = by_aux[8]["ops_per_s"] / by_aux[4]["ops_per_s"]
+    assert gain_48 < gain_14

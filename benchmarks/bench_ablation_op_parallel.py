@@ -1,0 +1,62 @@
+"""Ablation: op-level parallelism across independent ciphertext streams.
+
+The paper's operator-reuse design time-multiplexes the five core
+arrays. For a *single* dependent ciphertext chain that serializes at op
+boundaries; for *independent* streams (batch serving), an HAdd (MA
+array) can run under another stream's keyswitch (NTT/MM arrays). This
+bench quantifies the throughput difference between the two compile
+modes on a mixed batch.
+"""
+
+from repro.analysis.report import render_table
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.engine import PoseidonSimulator
+
+from _shared import print_banner
+
+N, L, AUX = 1 << 16, 30, 4
+
+
+def mixed_batch():
+    """Interleaved independent requests: adds, pmults, keyswitch ops."""
+    ops = []
+    for _ in range(6):
+        ops.append(FheOp.make(FheOpName.HADD, N, L))
+        ops.append(FheOp.make(FheOpName.CMULT, N, L, aux_limbs=AUX))
+        ops.append(FheOp.make(FheOpName.PMULT, N, L))
+        ops.append(FheOp.make(FheOpName.ROTATION, N, L, aux_limbs=AUX))
+    return ops
+
+
+def run_both():
+    sim = PoseidonSimulator()
+    ops = mixed_batch()
+    serial = sim.run(compile_trace(ops, op_parallel=False))
+    parallel = sim.run(compile_trace(ops, op_parallel=True))
+    return serial, parallel
+
+
+def test_op_parallelism(benchmark):
+    serial, parallel = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        {
+            "mode": "serial chain",
+            "ms": serial.total_seconds * 1e3,
+            "bw_util": serial.bandwidth_utilization,
+        },
+        {
+            "mode": "independent streams",
+            "ms": parallel.total_seconds * 1e3,
+            "bw_util": parallel.bandwidth_utilization,
+        },
+    ]
+    print_banner("Ablation — op-level parallelism (mixed batch)")
+    print(render_table(["mode", "ms", "bw_util"], rows))
+    speedup = serial.total_seconds / parallel.total_seconds
+    print(f"overlap speedup: {speedup:.2f}x")
+
+    # Overlapping independent ops on distinct core arrays must help...
+    assert parallel.total_seconds < serial.total_seconds
+    # ...and pushes the HBM harder (less idle time between streams).
+    assert parallel.bandwidth_utilization >= serial.bandwidth_utilization

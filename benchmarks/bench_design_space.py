@@ -1,0 +1,49 @@
+"""Design-space exploration bench: recover the paper's configuration.
+
+Runs the grid search over (lanes, radix) under the U280 budget on the
+packed-bootstrapping workload and confirms the optimizer lands where
+the paper's hand analysis did: k = 3, 512 lanes (Figs. 10 and 11 as a
+single search result).
+"""
+
+from repro.analysis.report import render_table
+from repro.sim.designer import DesignExplorer
+
+from _shared import benchmark_program, print_banner
+
+
+def explore():
+    explorer = DesignExplorer(benchmark_program("Packed Bootstrapping"))
+    points = explorer.sweep()
+    best = explorer.best(objective="seconds")
+    frontier = explorer.pareto(points)
+    return points, best, frontier
+
+
+def test_design_space(benchmark):
+    points, best, frontier = benchmark.pedantic(
+        explore, rounds=1, iterations=1
+    )
+    print_banner("Design-space exploration (Packed Bootstrapping, U280)")
+    rows = [
+        {
+            "lanes": p.lanes,
+            "k": p.radix_log2,
+            "ms": p.seconds * 1e3,
+            "energy_J": p.energy_joules,
+            "lut": p.resources.lut,
+            "dsp": p.resources.dsp,
+            "fits": p.fits,
+            "pareto": p in frontier,
+        }
+        for p in points
+    ]
+    print(render_table(
+        ["lanes", "k", "ms", "energy_J", "lut", "dsp", "fits", "pareto"],
+        rows,
+    ))
+    print(f"\nbest (time): {best.label} — the paper's design point")
+
+    assert best.radix_log2 == 3
+    assert best.lanes == 512
+    assert best in frontier

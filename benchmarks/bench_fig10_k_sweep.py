@@ -1,0 +1,24 @@
+"""Fig. 10: the NTT-fusion parameter sweep — optimum at k = 3.
+
+Sweeps the fusion radix over k = 2..6 and prints FPGA resources plus
+the modelled per-NTT execution time; every metric must inflect at 3.
+"""
+
+from repro.analysis.figures import fig10_k_sweep
+from repro.analysis.report import render_table
+
+from _shared import print_banner
+
+
+def test_fig10_k_sweep(benchmark):
+    fig = benchmark(fig10_k_sweep)
+    print_banner("Fig. 10 — fusion radix sweep (resources + NTT time)")
+    print(render_table(["k", "lut", "ff", "dsp", "bram", "ntt_us"],
+                       fig["rows"]))
+    print(f"optimal k: {fig['best_k']} (paper: 3)")
+
+    assert fig["best_k"] == 3
+    rows = {r["k"]: r for r in fig["rows"]}
+    for metric in ("lut", "ff", "dsp", "ntt_us"):
+        values = {k: rows[k][metric] for k in rows}
+        assert min(values, key=values.get) == 3, metric

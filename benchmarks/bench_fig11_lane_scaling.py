@@ -1,0 +1,36 @@
+"""Fig. 11: vector-lane sensitivity — time and EDP vs 64..512 lanes.
+
+The paper's findings: performance improves with lanes but with
+diminishing returns as the HBM bandwidth saturates; EDP behaves
+similarly; 512 lanes is the chosen balance point.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig11_lane_scaling
+from repro.analysis.report import render_table
+
+from _shared import print_banner
+
+
+@pytest.mark.parametrize("workload", ["ResNet-20", "LR"])
+def test_fig11_lane_scaling(benchmark, workload):
+    fig = benchmark.pedantic(
+        fig11_lane_scaling, kwargs={"benchmark": workload},
+        rounds=1, iterations=1,
+    )
+    print_banner(f"Fig. 11 — lane scaling ({workload})")
+    print(render_table(
+        ["lanes", "seconds", "edp", "bandwidth_utilization"], fig["rows"]
+    ))
+
+    times = [r["seconds"] for r in fig["rows"]]
+    # Monotone speedup with lanes...
+    assert times == sorted(times, reverse=True)
+    # ...with diminishing returns (the bandwidth wall).
+    gains = [times[i] / times[i + 1] for i in range(len(times) - 1)]
+    assert gains[-1] < gains[0]
+    assert gains[-1] < 2.0
+    # Bandwidth pressure grows as lanes scale.
+    utils = [r["bandwidth_utilization"] for r in fig["rows"]]
+    assert utils[-1] > utils[0]

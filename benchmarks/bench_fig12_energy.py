@@ -1,0 +1,44 @@
+"""Fig. 12: energy consumption and breakdown per benchmark.
+
+The paper's findings: memory access takes the largest share of energy;
+among the operator cores, MM and NTT dominate while MA is negligible.
+"""
+
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.workloads import PAPER_BENCHMARKS
+
+from _shared import benchmark_program, benchmark_result, print_banner
+
+
+def collect():
+    model = EnergyModel(HardwareConfig())
+    out = {}
+    for name in PAPER_BENCHMARKS:
+        program = benchmark_program(name)
+        result = benchmark_result(name)
+        breakdown = model.breakdown(result, program)
+        out[name] = (breakdown.total, breakdown.shares(),
+                     breakdown.core_energy)
+    return out
+
+
+def test_fig12_energy(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_banner("Fig. 12 — energy consumption and breakdown")
+    for name, (total, shares, cores) in data.items():
+        print(f"\n{name}: total {total:.2f} J")
+        for key, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            print(f"    {key:14s} {100 * share:5.1f}%")
+
+    for name, (total, shares, cores) in data.items():
+        assert total > 0
+        # Memory access leads the breakdown (paper's main bar).
+        compute_shares = {
+            k: v for k, v in shares.items()
+            if k not in ("memory", "static")
+        }
+        assert shares["memory"] > max(compute_shares.values()), name
+        # MM and NTT dominate compute; MA is negligible.
+        assert cores["MM"] > cores["MA"]
+        assert cores["NTT"] > cores["MA"]

@@ -1,0 +1,26 @@
+"""Fig. 7: operator-core composition of each basic operation.
+
+Regenerates the stacked-bar data: for each basic operation, the share
+of busy time spent in each operator core array.
+"""
+
+from repro.analysis.figures import fig7_operator_analysis
+from repro.analysis.report import render_shares
+
+from _shared import print_banner
+
+
+def test_fig7_operator_analysis(benchmark):
+    fig = benchmark.pedantic(fig7_operator_analysis, rounds=1, iterations=1)
+    print_banner("Fig. 7 — operator core time share per basic operation")
+    print(render_shares(fig["series"]))
+
+    series = fig["series"]
+    # Paper bars: HAdd only MA; PMult only MM; Rotation uses all four;
+    # MM/NTT dominate the keyswitch-bearing operations.
+    assert series["HAdd"].get("MA", 0) > 0.99
+    assert series["PMult"].get("MM", 0) > 0.99
+    assert set(series["Rotation"]) >= {"MA", "MM", "NTT", "Automorphism"}
+    for op in ("CMult", "Keyswitch", "Rotation"):
+        heavy = series[op].get("MM", 0) + series[op].get("NTT", 0)
+        assert heavy > 0.5, (op, series[op])

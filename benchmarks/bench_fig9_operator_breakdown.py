@@ -1,0 +1,30 @@
+"""Fig. 9: key-operator time share per benchmark.
+
+The paper's finding: MM and NTT occupy the largest proportion of the
+operator time in every benchmark.
+"""
+
+from repro.sim.stats import benchmark_operator_shares
+from repro.workloads import PAPER_BENCHMARKS
+
+from _shared import benchmark_result, print_banner
+
+
+def collect():
+    return {
+        name: benchmark_operator_shares(benchmark_result(name))
+        for name in PAPER_BENCHMARKS
+    }
+
+
+def test_fig9_breakdown(benchmark):
+    series = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_banner("Fig. 9 — operator core time share per benchmark")
+    from repro.analysis.report import render_shares
+
+    print(render_shares(series))
+
+    for name, shares in series.items():
+        mm_ntt = shares.get("MM", 0) + shares.get("NTT", 0)
+        assert mm_ntt > 0.5, (name, shares)
+        assert shares.get("MA", 0) < shares.get("NTT", 1), name

@@ -1,0 +1,89 @@
+"""Microbenchmarks of the functional plane (the real CKKS library).
+
+These measure what Table IV's CPU column measures for the paper's
+software baseline: wall-clock throughput of the library's own basic
+operations at toy parameters. Not compared against the paper's
+numbers (different machine, interpreted Python) — they track this
+repository's own performance over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksDecryptor,
+    CkksEncoder,
+    CkksEncryptor,
+    CkksEvaluator,
+    CkksParameters,
+    KeyChain,
+)
+from repro.ntt.radix2 import intt_radix2, ntt_radix2
+from repro.ntt.tables import get_twiddle_table
+from repro.utils.primes import find_ntt_primes
+
+
+@pytest.fixture(scope="module")
+def stack():
+    params = CkksParameters.default(degree=1024, levels=3)
+    keys = KeyChain.generate(params, seed=0)
+    encoder = CkksEncoder(params)
+    encryptor = CkksEncryptor(params, keys, seed=1)
+    decryptor = CkksDecryptor(params, keys)
+    evaluator = CkksEvaluator(params, keys)
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-1, 1, params.slot_count)
+    ct = encryptor.encrypt(encoder.encode(x))
+    return params, encoder, encryptor, decryptor, evaluator, ct
+
+
+def test_bench_ntt_radix2(benchmark):
+    n = 4096
+    q = find_ntt_primes(30, 1, n)[0]
+    table = get_twiddle_table(q, n)
+    x = np.random.default_rng(0).integers(0, q, n, dtype=np.uint64)
+    benchmark(ntt_radix2, x, table)
+
+
+def test_bench_intt_radix2(benchmark):
+    n = 4096
+    q = find_ntt_primes(30, 1, n)[0]
+    table = get_twiddle_table(q, n)
+    x = np.random.default_rng(1).integers(0, q, n, dtype=np.uint64)
+    f = ntt_radix2(x, table)
+    benchmark(intt_radix2, f, table)
+
+
+def test_bench_encrypt(benchmark, stack):
+    params, encoder, encryptor, *_ = stack
+    pt = encoder.encode(np.zeros(params.slot_count))
+    benchmark(encryptor.encrypt, pt)
+
+
+def test_bench_hadd(benchmark, stack):
+    *_, evaluator, ct = stack
+    benchmark(evaluator.add, ct, ct)
+
+
+def test_bench_pmult(benchmark, stack):
+    params, encoder, _, _, evaluator, ct = stack
+    pt = encoder.encode(np.full(params.slot_count, 0.5))
+    benchmark(evaluator.multiply_plain, ct, pt)
+
+
+def test_bench_cmult_with_relin(benchmark, stack):
+    *_, evaluator, ct = stack
+    benchmark(evaluator.multiply, ct, ct)
+
+
+def test_bench_rotation(benchmark, stack):
+    *_, evaluator, ct = stack
+    evaluator.rotate(ct, 1)  # warm the Galois key cache
+    benchmark(evaluator.rotate, ct, 1)
+
+
+def test_bench_rescale(benchmark, stack):
+    params, encoder, _, _, evaluator, ct = stack
+    pt = encoder.encode(np.full(params.slot_count, 0.5))
+    prod = evaluator.multiply_plain(ct, pt)
+    benchmark(evaluator.rescale, prod)

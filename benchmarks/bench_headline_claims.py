@@ -1,0 +1,27 @@
+"""The abstract's headline claims, recomputed end to end.
+
+"(1) up to 370x speedup over CPU for the basic operations; (2) up to
+1300x/52x over CPU and the FPGA solution for the key operators; (3) up
+to 10.6x/8.7x over GPU and the ASIC solution for the benchmarks."
+"""
+
+from repro.analysis.summary import headline_claims, render_markdown
+
+from _shared import print_banner
+
+
+def test_headline_claims(benchmark):
+    claims = benchmark.pedantic(headline_claims, rounds=1, iterations=1)
+    print_banner("Abstract headline claims — paper vs measured")
+    print(render_markdown())
+
+    by_name = {c.name: c for c in claims}
+    # Every claim's direction must hold (Poseidon genuinely wins)...
+    for claim in claims:
+        assert claim.measured_factor > 1.0, claim
+    # ...and the magnitudes stay within a small factor of the paper's.
+    assert by_name["NTT vs CPU"].within(2.0)
+    assert by_name["basic ops vs CPU (up to)"].within(2.0)
+    assert by_name["NTT vs FPGA (HEAX)"].within(2.5)
+    assert by_name["benchmark vs GPU"].within(3.0)
+    assert by_name["benchmark vs ASIC (best case)"].within(3.0)

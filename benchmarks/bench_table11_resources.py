@@ -1,0 +1,22 @@
+"""Table XI: FPGA resource consumption per operator core array."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table11_core_resources
+
+from _shared import print_banner
+
+
+def test_table11_core_resources(benchmark):
+    table = benchmark(table11_core_resources)
+    print_banner("Table XI — per-core resource consumption (512 lanes)")
+    print(render_table(table["columns"], table["rows"]))
+
+    rows = {r["core"]: r for r in table["rows"]}
+    # Paper: the multiplication-heavy cores (MM/NTT/SBT) own the DSPs.
+    assert rows["MM"]["dsp"] > 0
+    assert rows["NTT"]["dsp"] > 0
+    assert rows["SBT"]["dsp"] > 0
+    assert rows["MA"]["dsp"] == 0
+    assert rows["Automorphism"]["dsp"] == 0
+    # The automorphism core adds BRAM (its dimension-switch buffers).
+    assert rows["Automorphism"]["bram"] > 0

@@ -1,0 +1,21 @@
+"""Table XII: resource totals vs other published FPGA prototypes."""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table12_fpga_comparison
+
+from _shared import print_banner
+
+
+def test_table12_comparison(benchmark):
+    table = benchmark(table12_fpga_comparison)
+    print_banner("Table XII — FPGA prototypes resource comparison")
+    print(render_table(table["columns"], table["rows"]))
+
+    rows = {r["design"]: r for r in table["rows"]}
+    poseidon = rows["Poseidon (model)"]
+    # The paper's claim: less resource consumption than both rivals.
+    for rival in ("HEAX [32]", "Kim et al. [25][26]"):
+        assert poseidon["lut"] < rows[rival]["lut"]
+        assert poseidon["ff"] < rows[rival]["ff"]
+        assert poseidon["dsp"] < rows[rival]["dsp"]
+        assert poseidon["bram"] < rows[rival]["bram"]

@@ -1,0 +1,24 @@
+"""Table I: operator usage per FHE basic operation.
+
+Regenerates the checkmark matrix by lowering each basic operation and
+inspecting which operator core arrays its task DAG touches.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table1_operator_usage
+
+from _shared import print_banner
+
+
+def test_table1_operator_usage(benchmark):
+    table = benchmark(table1_operator_usage)
+    print_banner("Table I — operator reuse per basic operation")
+    print(render_table(table["columns"], table["rows"]))
+
+    rows = {r["operation"]: r for r in table["rows"]}
+    # Paper checkmarks: HAdd is MA-only; Rotation touches everything.
+    assert rows["HAdd"]["MA"] and not rows["HAdd"]["MM"]
+    assert all(
+        rows["Rotation"][c]
+        for c in ("MA", "MM", "NTT/INTT", "Automorphism", "SBT")
+    )

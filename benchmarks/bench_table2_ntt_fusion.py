@@ -1,0 +1,39 @@
+"""Table II: NTT-fusion operation counts vs the fusion radix k.
+
+Prints both the analytic model's counts (derived from the fused
+butterfly structure we actually implement) and the paper's literal
+cells, plus measures the real execution time of the fused kernel at
+each k on the functional plane.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import table2_ntt_fusion
+from repro.ntt.fusion import FusedNtt
+from repro.utils.primes import find_ntt_primes
+
+from _shared import print_banner
+
+N = 1 << 10
+
+
+def test_table2_counts(benchmark):
+    table = benchmark(table2_ntt_fusion)
+    print_banner("Table II — fusion radix vs twiddle/op counts")
+    print(render_table(table["columns"], table["rows"]))
+    print("\npaper cells (W_unfused, W_fused, mult_unfused, mult_fused):")
+    for row in table["rows"]:
+        print(f"  k={row['k']}: {tuple(row['paper'].values())}")
+
+    for row in table["rows"]:
+        assert row["modred_fused"] < row["modred_unfused"]
+
+
+def test_table2_fused_kernel_timing(benchmark):
+    """Measure the functional fused kernel (k = 3) for reference."""
+    q = find_ntt_primes(30, 1, N)[0]
+    fused = FusedNtt(q, N, 3)
+    x = np.random.default_rng(0).integers(0, q, N, dtype=np.uint64)
+    result = benchmark(fused.forward, x)
+    assert result.shape == (N,)

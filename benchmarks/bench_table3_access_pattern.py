@@ -1,0 +1,53 @@
+"""Table III / Fig. 5: the fused NTT's BRAM access pattern.
+
+Prints the per-iteration read offsets for N = 4096, k = 3 (the paper's
+example) and verifies the diagonal bank assignment is conflict-free.
+"""
+
+from repro.ntt.fusion import FusionCostModel, access_offsets, bram_bank_of
+
+from _shared import print_banner
+
+N, K = 4096, 3
+
+
+def compute_pattern():
+    model = FusionCostModel(K)
+    rows = []
+    for iteration in range(1, model.phases(N) + 1):
+        offsets = access_offsets(N, K, iteration)
+        rows.append((iteration, offsets.tolist()))
+    return rows
+
+
+def test_table3_access_offsets(benchmark):
+    rows = benchmark(compute_pattern)
+    print_banner("Table III — NTT data access pattern (N=4096, k=3)")
+    print(f"phases: {FusionCostModel(K).phases(N)} (vs 12 unfused)")
+    for iteration, offsets in rows:
+        print(f"  iteration {iteration}: first butterfly reads {offsets}")
+
+    assert rows[0][1] == list(range(8))
+    assert rows[1][1] == [0, 8, 16, 24, 32, 40, 48, 56]
+    assert rows[2][1] == [64 * i for i in range(8)]
+
+
+def test_table3_bank_conflicts(benchmark):
+    """Fig. 5's diagonal storage: butterfly operands hit 8 banks."""
+
+    def count_conflicts():
+        conflicts = 0
+        block = 1 << K
+        for iteration in (1, 2, 3, 4):
+            stride = 1 << (K * (iteration - 1))
+            for start in range(0, N // 4, stride * block):
+                indices = [start + j * stride for j in range(block)]
+                banks = {bram_bank_of(i, iteration, K) for i in indices}
+                if len(banks) != block:
+                    conflicts += 1
+        return conflicts
+
+    conflicts = benchmark(count_conflicts)
+    print_banner("Fig. 5 — BRAM bank conflicts across iterations")
+    print(f"conflicting butterflies: {conflicts}")
+    assert conflicts == 0

@@ -1,0 +1,35 @@
+"""Table IX: the HFAuto ablation on the four full benchmarks.
+
+Simulates every benchmark twice — HFAuto (Poseidon) vs the naive
+one-element-per-cycle Auto core — and checks the paper's claim that
+the naive design degrades performance by up to an order of magnitude.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_POSEIDON_AUTO_MS, PAPER_POSEIDON_MS
+from repro.workloads import PAPER_BENCHMARKS
+
+from _shared import poseidon_ms, print_banner
+
+
+@pytest.mark.parametrize("name", list(PAPER_BENCHMARKS))
+def test_table9_ablation(benchmark, name):
+    def run_both():
+        fast = poseidon_ms(name, use_hfauto=True)
+        slow = poseidon_ms(name, use_hfauto=False)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_banner(f"Table IX — {name}")
+    paper_ratio = PAPER_POSEIDON_AUTO_MS[name] / (
+        PAPER_POSEIDON_MS[name] * (10 if name == "LR" else 1)
+    )
+    print(f"  Poseidon-HFAuto: {fast:10.1f} ms "
+          f"(paper {PAPER_POSEIDON_MS[name]})")
+    print(f"  Poseidon-Auto:   {slow:10.1f} ms "
+          f"(paper {PAPER_POSEIDON_AUTO_MS[name]})")
+    print(f"  slowdown: {slow / fast:.2f}x (paper {paper_ratio:.2f}x)")
+
+    # The naive core must hurt, noticeably.
+    assert slow > 1.2 * fast

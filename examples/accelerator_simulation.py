@@ -1,0 +1,90 @@
+"""Accelerator simulation: trace a workload and run it on Poseidon.
+
+Demonstrates the performance plane end-to-end:
+
+1. run a real encrypted computation with trace capture;
+2. compile the operation stream into operator tasks (Table I);
+3. replay it on the cycle-level Poseidon model;
+4. print the paper-style analyses: operator breakdown (Fig. 9 style),
+   bandwidth utilization (Table VII style), energy (Fig. 12 style) and
+   a lane sweep (Fig. 11 style).
+
+Run:  python examples/accelerator_simulation.py
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksEncryptor,
+    CkksEvaluator,
+    CkksParameters,
+    KeyChain,
+)
+from repro.compiler.program import compile_trace
+from repro.compiler.trace import TraceRecorder
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.stats import benchmark_operator_shares
+
+
+def build_trace():
+    """An encrypted dot-product pipeline, traced."""
+    params = CkksParameters.default(degree=1024, levels=5)
+    keys = KeyChain.generate(params, seed=9)
+    encoder = CkksEncoder(params)
+    encryptor = CkksEncryptor(params, keys, seed=1)
+    recorder = TraceRecorder(default_aux_limbs=4)
+    evaluator = CkksEvaluator(params, keys, recorder=recorder)
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, params.slot_count)
+    w = rng.uniform(-1, 1, params.slot_count)
+    ct = encryptor.encrypt(encoder.encode(x))
+    prod = evaluator.rescale(
+        evaluator.multiply_plain(ct, encoder.encode(w))
+    )
+    evaluator.rotate_sum(prod, 16)  # inner-product reduction
+    return recorder
+
+
+def main() -> None:
+    recorder = build_trace()
+    print(f"captured trace: {recorder}")
+    program = compile_trace(recorder)
+    print(f"compiled to {program.task_count} operator tasks")
+
+    config = HardwareConfig()
+    sim = PoseidonSimulator(config)
+    result = sim.run(program)
+    print(f"\nsimulated makespan on Poseidon (512 lanes, 300 MHz): "
+          f"{result.total_seconds * 1e6:.1f} us")
+    print(f"HBM traffic: {result.hbm_bytes / 1e6:.2f} MB, "
+          f"bandwidth utilization {100 * result.bandwidth_utilization:.1f}%")
+
+    print("\noperator core time share (Fig. 9 style):")
+    for core, share in sorted(
+        benchmark_operator_shares(result).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {core:14s} {100 * share:5.1f}%")
+
+    energy = EnergyModel(config)
+    breakdown = energy.breakdown(result, program)
+    print(f"\nenergy: {breakdown.total * 1e3:.3f} mJ "
+          f"(EDP {energy.edp(result, program):.3e} J*s)")
+    for key, share in sorted(
+        breakdown.shares().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {key:14s} {100 * share:5.1f}%")
+
+    print("\nlane sweep (Fig. 11 style):")
+    for lanes in (64, 128, 256, 512):
+        cfg = HardwareConfig().with_lanes(lanes)
+        res = PoseidonSimulator(cfg).run(program)
+        print(f"  {lanes:4d} lanes: {res.total_seconds * 1e6:9.1f} us  "
+              f"(bw util {100 * res.bandwidth_utilization:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

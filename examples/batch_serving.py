@@ -1,0 +1,78 @@
+"""Batch serving: independent encrypted requests sharing the cores.
+
+A cloud FHE service rarely runs one ciphertext chain at a time: many
+clients' requests arrive together, and their operations are mutually
+independent. Poseidon's operator-reuse design pays off here — one
+stream's HAdd runs on the MA array while another's keyswitch occupies
+NTT/MM. This example compiles the same mixed batch twice (serial chain
+vs independent streams) and shows the throughput gain plus the core
+occupancy Gantt.
+
+Run:  python examples/batch_serving.py
+"""
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.timeline import Timeline
+
+N, L, AUX = 1 << 16, 30, 4
+
+
+def keyswitch_heavy(requests: int = 5):
+    """Each 'request': an add, a multiply, and a rotation."""
+    ops = []
+    for _ in range(requests):
+        ops.append(FheOp.make(FheOpName.HADD, N, L))
+        ops.append(FheOp.make(FheOpName.CMULT, N, L, aux_limbs=AUX))
+        ops.append(FheOp.make(FheOpName.ROTATION, N, L, aux_limbs=AUX))
+        ops.append(FheOp.make(FheOpName.PMULT, N, L))
+    return ops
+
+
+def streaming_heavy(requests: int = 5):
+    """One keyswitch request among many streaming (MA/MM) requests."""
+    ops = [FheOp.make(FheOpName.CMULT, N, L, aux_limbs=AUX)]
+    for _ in range(requests * 4):
+        ops.append(FheOp.make(FheOpName.HADD, N, L))
+        ops.append(FheOp.make(FheOpName.PMULT, N, L))
+    return ops
+
+
+def compare(name: str, ops) -> float:
+    sim = PoseidonSimulator()
+    serial = sim.run(compile_trace(ops, op_parallel=False))
+    parallel = sim.run(compile_trace(ops, op_parallel=True))
+    speedup = serial.total_seconds / parallel.total_seconds
+    print(f"\n--- {name} ({len(ops)} ops) ---")
+    print(f"serial chain:        {serial.total_seconds * 1e3:8.2f} ms")
+    print(f"independent streams: {parallel.total_seconds * 1e3:8.2f} ms "
+          f"({speedup:.2f}x)")
+    print("core occupancy (independent streams):")
+    print(Timeline(parallel).render(width=56))
+    assert parallel.total_seconds <= serial.total_seconds
+    return speedup
+
+
+def main() -> None:
+    ks_speedup = compare("keyswitch-heavy batch", keyswitch_heavy())
+    st_speedup = compare("streaming-heavy batch", streaming_heavy())
+
+    print("\nconclusion:")
+    print(f"  keyswitch-heavy overlap gain: {ks_speedup:.2f}x — the NTT "
+          "array serializes that mix;")
+    print(f"  streaming-heavy overlap gain: {st_speedup:.2f}x — the HBM "
+          "channel serializes that one.")
+    print("Independent-stream overlap is nearly free of *benefit* here")
+    print("because one resource always binds: the NTT array for")
+    print("keyswitch mixes, the HBM for streaming mixes. That is the")
+    print("paper's balance argument made concrete — scaling either the")
+    print("cores or the bandwidth alone cannot speed up both mixes.")
+
+
+if __name__ == "__main__":
+    main()
+
+
+if __name__ == "__main__":
+    main()

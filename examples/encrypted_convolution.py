@@ -1,0 +1,57 @@
+"""Encrypted image convolution — the ResNet-20 building block.
+
+Runs a 3x3 convolution over an encrypted image using the packed
+rotation method (paper benchmark 3's inner loop): each kernel offset
+is one slot rotation, each weight one PMult, accumulated with HAdd.
+
+Run:  python examples/encrypted_convolution.py
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksDecryptor,
+    CkksEncoder,
+    CkksEncryptor,
+    CkksEvaluator,
+    CkksParameters,
+    KeyChain,
+)
+from repro.workloads.resnet20 import (
+    convolution_reference,
+    packed_convolution_functional,
+)
+
+
+def main() -> None:
+    params = CkksParameters.default(degree=512, levels=4)
+    keys = KeyChain.generate(params, seed=11)
+    encoder = CkksEncoder(params)
+    encryptor = CkksEncryptor(params, keys, seed=1)
+    decryptor = CkksDecryptor(params, keys)
+    evaluator = CkksEvaluator(params, keys)
+
+    rng = np.random.default_rng(3)
+    image = rng.uniform(-1, 1, (12, 12))
+    # A Sobel-like edge kernel.
+    kernel = np.array(
+        [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]]
+    ) / 4.0
+
+    print(f"convolving an encrypted {image.shape} image "
+          f"({image.size} pixels in {params.slot_count} slots)")
+    got = packed_convolution_functional(
+        evaluator, encoder, encryptor, decryptor, image, kernel
+    )
+    ref = convolution_reference(image, kernel)
+
+    interior_err = float(
+        np.max(np.abs(got[1:-1, 1:-1] - ref[1:-1, 1:-1]))
+    )
+    print(f"max interior error vs plaintext convolution: {interior_err:.2e}")
+    assert interior_err < 5e-2
+    print("OK: the feature map was computed without decrypting the image")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Encrypted logistic regression — a toy HELR (paper benchmark 1).
+
+Trains a small logistic-regression model where the *training data stays
+encrypted*: inner products run as PMult + rotate-accumulate, the update
+as homomorphic additions — the same operation mix the paper's LR
+benchmark stresses, at laptop scale.
+
+Run:  python examples/encrypted_logistic_regression.py
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksDecryptor,
+    CkksEncoder,
+    CkksEncryptor,
+    CkksEvaluator,
+    CkksParameters,
+    KeyChain,
+)
+from repro.workloads.helr import helr_functional
+
+
+def make_dataset(samples: int, features: int, rng):
+    """Linearly separable toy data with labels in {-1, +1}."""
+    true_w = rng.uniform(-1, 1, features)
+    data = rng.uniform(-1, 1, (samples, features))
+    labels = np.sign(data @ true_w + 0.1 * rng.normal(size=samples))
+    return data, labels, true_w
+
+
+def main() -> None:
+    params = CkksParameters.default(degree=512, levels=6)
+    keys = KeyChain.generate(params, seed=7)
+    encoder = CkksEncoder(params)
+    encryptor = CkksEncryptor(params, keys, seed=1)
+    decryptor = CkksDecryptor(params, keys)
+    evaluator = CkksEvaluator(params, keys)
+
+    rng = np.random.default_rng(42)
+    data, labels, true_w = make_dataset(samples=6, features=8, rng=rng)
+    print(f"training on {data.shape[0]} encrypted samples, "
+          f"{data.shape[1]} features")
+
+    weights = helr_functional(
+        evaluator, encoder, encryptor, decryptor,
+        data, labels, iterations=2, learning_rate=0.5,
+    )
+    print(f"learned (decrypted) weights: {np.round(weights, 3)}")
+
+    # The encrypted learner should at least align with the generating
+    # direction: positive cosine similarity with the true weights.
+    cosine = float(
+        weights @ true_w / (np.linalg.norm(weights) * np.linalg.norm(true_w))
+    )
+    print(f"cosine(learned, true) = {cosine:.3f}")
+    assert cosine > 0.2, "encrypted training failed to move toward truth"
+    print("OK: gradient steps computed entirely under encryption")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Private statistics: a server aggregates records it cannot read.
+
+The motivating scenario of the paper's introduction: a client uploads
+encrypted records; the service computes aggregates (here mean and
+variance) homomorphically and returns encrypted results — the data
+stays "available but invisible".
+
+Run:  python examples/private_statistics.py
+"""
+
+import numpy as np
+
+from repro.ckks import (
+    CkksDecryptor,
+    CkksEncoder,
+    CkksEncryptor,
+    CkksEvaluator,
+    CkksParameters,
+    KeyChain,
+)
+from repro.workloads.statistics import encrypted_mean_variance
+
+
+def main() -> None:
+    params = CkksParameters.default(degree=512, levels=4)
+    keys = KeyChain.generate(params, seed=17)
+    encoder = CkksEncoder(params)
+    encryptor = CkksEncryptor(params, keys, seed=1)
+    decryptor = CkksDecryptor(params, keys)
+    evaluator = CkksEvaluator(params, keys)
+
+    # "Sensitive" records: e.g. per-patient measurements.
+    rng = np.random.default_rng(99)
+    records = rng.normal(loc=0.3, scale=0.2, size=64)
+
+    mean, variance = encrypted_mean_variance(
+        evaluator, encoder, encryptor, decryptor, records
+    )
+    true_mean = float(np.mean(records))
+    true_var = float(np.var(records))
+
+    print(f"records: {records.shape[0]} encrypted values")
+    print(f"homomorphic mean     = {mean:.5f} (true {true_mean:.5f})")
+    print(f"homomorphic variance = {variance:.5f} (true {true_var:.5f})")
+    assert abs(mean - true_mean) < 1e-3
+    assert abs(variance - true_var) < 1e-3
+    print("OK: aggregates match plaintext statistics")
+
+
+if __name__ == "__main__":
+    main()

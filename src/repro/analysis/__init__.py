@@ -1,0 +1,46 @@
+"""Analysis layer: regenerate every paper table and figure as data.
+
+Each function returns plain dict/list structures (rows/series) so the
+benchmark harness can print them and tests can assert their shape
+against the paper's qualitative claims.
+"""
+
+from repro.analysis.tables import (
+    table1_operator_usage,
+    table2_ntt_fusion,
+    table4_basic_ops,
+    table6_full_system,
+    table7_bandwidth,
+    table8_hfauto_resources,
+    table9_hfauto_ablation,
+    table10_edp,
+    table11_core_resources,
+    table12_fpga_comparison,
+)
+from repro.analysis.figures import (
+    fig7_operator_analysis,
+    fig8_benchmark_op_breakdown,
+    fig9_operator_breakdown,
+    fig10_k_sweep,
+    fig11_lane_scaling,
+    fig12_energy_breakdown,
+)
+
+__all__ = [
+    "fig10_k_sweep",
+    "fig11_lane_scaling",
+    "fig12_energy_breakdown",
+    "fig7_operator_analysis",
+    "fig8_benchmark_op_breakdown",
+    "fig9_operator_breakdown",
+    "table10_edp",
+    "table11_core_resources",
+    "table12_fpga_comparison",
+    "table1_operator_usage",
+    "table2_ntt_fusion",
+    "table4_basic_ops",
+    "table6_full_system",
+    "table7_bandwidth",
+    "table8_hfauto_resources",
+    "table9_hfauto_ablation",
+]

@@ -1,0 +1,59 @@
+"""Pretty-printing of table/figure data for the bench harness.
+
+Keeps formatting in one place so every ``benchmarks/bench_*.py`` target
+prints uniform, paper-style rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_value(value) -> str:
+    """Human formatting: floats get 3 significant-ish digits."""
+    if value is None:
+        return "/"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(columns: Iterable[str], rows: Iterable[dict],
+                 *, title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    columns = list(columns)
+    body = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in body)) if body else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_shares(series: dict[str, dict[str, float]],
+                  *, title: str = "") -> str:
+    """Render {group: {category: share}} as percentage rows."""
+    categories = sorted({c for shares in series.values() for c in shares})
+    rows = []
+    for group, shares in series.items():
+        row = {"group": group}
+        for cat in categories:
+            row[cat] = f"{100 * shares.get(cat, 0.0):.1f}%"
+        rows.append(row)
+    return render_table(["group", *categories], rows, title=title)

@@ -1,0 +1,411 @@
+"""Regeneration of the paper's tables as data structures.
+
+Every function returns ``{"columns": [...], "rows": [...]}`` (plus
+extra context keys) ready for pretty-printing by the bench harness.
+Paper-reported reference values ride along under ``paper`` keys so
+EXPERIMENTS.md can record measured-vs-paper per cell.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.asics import ASIC_BENCHMARK_MS, all_asics
+from repro.baselines.cpu import CpuModel, PAPER_CPU_OPS_PER_S
+from repro.baselines.gpu import GPU_BASIC_OPS, GPU_BENCHMARK_MS, gpu_edp
+from repro.baselines.heax import HEAX_BASIC_OPS, HEAX_RESOURCES, KIM_RESOURCES
+from repro.compiler.decompose import operator_usage
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.ntt.fusion import PAPER_TABLE_II, FusionCostModel
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.resources import (
+    PAPER_AUTO,
+    PAPER_HFAUTO,
+    ResourceModel,
+)
+from repro.workloads import PAPER_BENCHMARKS
+
+#: Canonical paper-scale operation parameters (Table IV context).
+TABLE4_DEGREE = 1 << 16
+TABLE4_LEVEL = 44
+TABLE4_AUX = 4
+
+#: The six basic operations Table IV reports.
+TABLE4_OPS = ("PMult", "CMult", "NTT", "Keyswitch", "Rotation", "Rescale")
+
+#: Paper Table VI / IX: Poseidon's own benchmark results (ms). LR is
+#: reported per training iteration (Table IX shows the 10x total).
+PAPER_POSEIDON_MS = {
+    "LR": 72.98,
+    "LSTM": 1846.89,
+    "ResNet-20": 2661.23,
+    "Packed Bootstrapping": 127.45,
+}
+
+#: Paper Table IX: the naive-Auto ablation row (ms).
+PAPER_POSEIDON_AUTO_MS = {
+    "LR": 729.8,
+    "LSTM": 14150.2,
+    "ResNet-20": 10543.1,
+    "Packed Bootstrapping": 1127.2,
+}
+
+#: Paper Table VII: lowest bandwidth utilization per basic op (the
+#: N=2^16 column) and per-benchmark averages (%).
+PAPER_BANDWIDTH_OP = {
+    "HAdd": 97.79,
+    "PMult": 97.65,
+    "CMult": 44.72,
+    "Keyswitch": 36.8,
+    "Rotation": 65.0,
+    "Rescale": 26.16,
+    "Bootstrapping": 46.39,
+}
+PAPER_BANDWIDTH_BENCH = {
+    "LR": 42.78,
+    "LSTM": 51.99,
+    "ResNet-20": 48.08,
+    "Packed Bootstrapping": 59.07,
+}
+
+
+def _benchmark_result(name: str, config: HardwareConfig | None = None):
+    """Simulate one paper benchmark; returns (trace, program, result)."""
+    trace = PAPER_BENCHMARKS[name]()
+    program = compile_trace(trace)
+    sim = PoseidonSimulator(config)
+    return trace, program, sim.run(program)
+
+
+def poseidon_benchmark_ms(
+    name: str, config: HardwareConfig | None = None
+) -> float:
+    """Simulated Poseidon time for one benchmark, in the paper's units
+    (LR is per-iteration)."""
+    _, _, result = _benchmark_result(name, config)
+    ms = result.total_seconds * 1e3
+    if name == "LR":
+        ms /= 10.0
+    return ms
+
+
+# ----------------------------------------------------------------------
+# Table I — operator usage per basic operation
+# ----------------------------------------------------------------------
+def table1_operator_usage(
+    *, degree: int = 1 << 14, level: int = 10
+) -> dict:
+    """Which operator cores each basic operation exercises."""
+    names = (
+        FheOpName.HADD,
+        FheOpName.PMULT,
+        FheOpName.CMULT,
+        FheOpName.RESCALE,
+        FheOpName.KEYSWITCH,
+        FheOpName.ROTATION,
+    )
+    rows = []
+    for name in names:
+        op = FheOp.make(name, degree, level, aux_limbs=TABLE4_AUX)
+        usage = operator_usage(op)
+        rows.append({"operation": name.value, **usage})
+    return {
+        "columns": ["operation", "MA", "MM", "NTT/INTT", "Automorphism",
+                    "SBT"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table II — NTT-fusion operation counts
+# ----------------------------------------------------------------------
+def table2_ntt_fusion() -> dict:
+    """Twiddle/mult/add counts per fused radix-2^k block, k = 2..6."""
+    rows = []
+    for k in range(2, 7):
+        model = FusionCostModel(k)
+        costs = model.costs()
+        paper = PAPER_TABLE_II[k]
+        rows.append(
+            {
+                "k": k,
+                "W_unfused": costs.twiddles_unfused,
+                "W_fused": costs.twiddles_fused,
+                "mult_unfused": costs.mult_unfused,
+                "mult_fused": costs.mult_fused,
+                "modred_unfused": costs.modred_unfused,
+                "modred_fused": costs.modred_fused,
+                "paper": {
+                    "W_unfused": paper[0],
+                    "W_fused": paper[1],
+                    "mult_unfused": paper[2],
+                    "mult_fused": paper[3],
+                },
+            }
+        )
+    return {
+        "columns": ["k", "W_unfused", "W_fused", "mult_unfused",
+                    "mult_fused", "modred_unfused", "modred_fused"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table IV — basic-operation throughput comparison
+# ----------------------------------------------------------------------
+def table4_basic_ops(config: HardwareConfig | None = None) -> dict:
+    """CPU / GPU / HEAX / Poseidon ops-per-second for the basic ops."""
+    sim = PoseidonSimulator(config)
+    cpu = CpuModel()
+    rows = []
+    for op_name in TABLE4_OPS:
+        if op_name == "NTT":
+            cpu_ops = 1.0 / cpu.ntt_op_seconds(TABLE4_DEGREE, TABLE4_LEVEL)
+            # Standalone NTT of one polynomial (as the CPU model does).
+            from repro.sim.tasks import OperatorKind, OperatorTask
+
+            task = OperatorTask(
+                kind=OperatorKind.NTT,
+                elements=TABLE4_LEVEL * TABLE4_DEGREE,
+                degree=TABLE4_DEGREE,
+                limbs=TABLE4_LEVEL,
+                hbm_read_bytes=TABLE4_DEGREE * TABLE4_LEVEL * 4,
+                hbm_write_bytes=TABLE4_DEGREE * TABLE4_LEVEL * 4,
+                op_label="NTT",
+            )
+            seconds = sim.cores.task_seconds(task)
+            mem = sim.memory.task_timing(task).hbm_seconds
+            poseidon_ops = 1.0 / max(seconds, mem)
+        else:
+            op = FheOp.make(
+                FheOpName.from_label(op_name),
+                TABLE4_DEGREE,
+                TABLE4_LEVEL,
+                aux_limbs=TABLE4_AUX,
+            )
+            cpu_ops = cpu.operations_per_second(op)
+            poseidon_ops = sim.operations_per_second(op)
+        rows.append(
+            {
+                "operation": op_name,
+                "cpu_ops": cpu_ops,
+                "gpu_ops": GPU_BASIC_OPS.get(op_name),
+                "heax_ops": HEAX_BASIC_OPS.get(op_name),
+                "poseidon_ops": poseidon_ops,
+                "speedup_vs_cpu": poseidon_ops / cpu_ops,
+                "paper": {
+                    "cpu_ops": PAPER_CPU_OPS_PER_S.get(op_name),
+                    "speedup_vs_cpu": {
+                        "PMult": 349, "CMult": 718, "NTT": 1348,
+                        "Keyswitch": 780, "Rotation": 774, "Rescale": 572,
+                    }.get(op_name),
+                },
+            }
+        )
+    return {
+        "columns": ["operation", "cpu_ops", "gpu_ops", "heax_ops",
+                    "poseidon_ops", "speedup_vs_cpu"],
+        "rows": rows,
+        "parameters": {
+            "degree": TABLE4_DEGREE,
+            "level": TABLE4_LEVEL,
+            "aux_limbs": TABLE4_AUX,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Table VI — full-system benchmark comparison
+# ----------------------------------------------------------------------
+def table6_full_system(config: HardwareConfig | None = None) -> dict:
+    """Poseidon simulated vs published accelerator benchmark times."""
+    rows = []
+    for bench in PAPER_BENCHMARKS:
+        poseidon_ms = poseidon_benchmark_ms(bench, config)
+        row = {
+            "benchmark": bench,
+            "poseidon_ms": poseidon_ms,
+            "paper_poseidon_ms": PAPER_POSEIDON_MS[bench],
+        }
+        for asic, values in ASIC_BENCHMARK_MS.items():
+            row[asic + "_ms"] = values.get(bench)
+        row["gpu_ms"] = GPU_BENCHMARK_MS.get(bench)
+        rows.append(row)
+    return {
+        "columns": ["benchmark", "poseidon_ms", "paper_poseidon_ms",
+                    "F1+_ms", "CraterLake_ms", "BTS_ms", "ARK_ms",
+                    "gpu_ms"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table VII — bandwidth utilization
+# ----------------------------------------------------------------------
+def table7_bandwidth(config: HardwareConfig | None = None) -> dict:
+    """HBM bandwidth utilization per basic op and per benchmark."""
+    sim = PoseidonSimulator(config)
+    op_rows = []
+    for op_name, paper_pct in PAPER_BANDWIDTH_OP.items():
+        if op_name == "Bootstrapping":
+            trace = PAPER_BENCHMARKS["Packed Bootstrapping"]()
+            result = sim.run(compile_trace(trace))
+        else:
+            op = FheOp.make(
+                FheOpName.from_label(op_name),
+                TABLE4_DEGREE,
+                TABLE4_LEVEL,
+                aux_limbs=TABLE4_AUX,
+                kind="ct-ct",
+            )
+            result = sim.run_ops([op])
+        op_rows.append(
+            {
+                "name": op_name,
+                "utilization_pct": 100 * result.bandwidth_utilization,
+                "paper_pct": paper_pct,
+            }
+        )
+    bench_rows = []
+    for bench, paper_pct in PAPER_BANDWIDTH_BENCH.items():
+        _, _, result = _benchmark_result(bench, config)
+        bench_rows.append(
+            {
+                "name": bench,
+                "utilization_pct": 100 * result.bandwidth_utilization,
+                "paper_pct": paper_pct,
+            }
+        )
+    return {"operations": op_rows, "benchmarks": bench_rows}
+
+
+# ----------------------------------------------------------------------
+# Table VIII — Auto vs HFAuto core resources
+# ----------------------------------------------------------------------
+def table8_hfauto_resources(degree: int = 1 << 16) -> dict:
+    """Naive Auto vs HFAuto: resources and per-pass latency."""
+    hf = ResourceModel(HardwareConfig(use_hfauto=True))
+    naive = ResourceModel(HardwareConfig(use_hfauto=False))
+    rows = [
+        {
+            "design": "Auto",
+            **{k: getattr(naive.automorphism_core(), k)
+               for k in ("lut", "ff", "dsp", "bram")},
+            "latency_cycles": naive.automorphism_latency_cycles(degree),
+            "paper": PAPER_AUTO,
+        },
+        {
+            "design": "HFAuto",
+            **{k: getattr(hf.automorphism_core(), k)
+               for k in ("lut", "ff", "dsp", "bram")},
+            "latency_cycles": hf.automorphism_latency_cycles(degree),
+            "paper": PAPER_HFAUTO,
+        },
+    ]
+    return {
+        "columns": ["design", "ff", "dsp", "lut", "bram", "latency_cycles"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table IX — HFAuto full-benchmark ablation
+# ----------------------------------------------------------------------
+def table9_hfauto_ablation() -> dict:
+    """Benchmark times with HFAuto vs the naive Auto core."""
+    rows = []
+    for bench in PAPER_BENCHMARKS:
+        with_hf = poseidon_benchmark_ms(
+            bench, HardwareConfig(use_hfauto=True)
+        )
+        without = poseidon_benchmark_ms(
+            bench, HardwareConfig(use_hfauto=False)
+        )
+        rows.append(
+            {
+                "benchmark": bench,
+                "poseidon_hfauto_ms": with_hf,
+                "poseidon_auto_ms": without,
+                "slowdown": without / with_hf,
+                "paper": {
+                    "poseidon_hfauto_ms": PAPER_POSEIDON_MS[bench],
+                    "poseidon_auto_ms": PAPER_POSEIDON_AUTO_MS[bench],
+                },
+            }
+        )
+    return {
+        "columns": ["benchmark", "poseidon_hfauto_ms", "poseidon_auto_ms",
+                    "slowdown"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table X — energy-delay product comparison
+# ----------------------------------------------------------------------
+def table10_edp(config: HardwareConfig | None = None) -> dict:
+    """EDP of Poseidon (simulated) vs GPU and ASICs (published)."""
+    cfg = config or HardwareConfig()
+    energy_model = EnergyModel(cfg)
+    rows = []
+    for bench in PAPER_BENCHMARKS:
+        trace, program, result = _benchmark_result(bench, cfg)
+        edp = energy_model.edp(result, program)
+        row = {"benchmark": bench, "poseidon_edp": edp}
+        for asic in all_asics():
+            row[asic.name + "_edp"] = asic.edp(bench)
+        row["gpu_edp"] = gpu_edp(bench)
+        rows.append(row)
+    return {
+        "columns": ["benchmark", "poseidon_edp", "F1+_edp",
+                    "CraterLake_edp", "BTS_edp", "ARK_edp", "gpu_edp"],
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Table XI — per-core FPGA resources
+# ----------------------------------------------------------------------
+def table11_core_resources(config: HardwareConfig | None = None) -> dict:
+    """Resource consumption per operator core array."""
+    model = ResourceModel(config or HardwareConfig())
+    rows = []
+    for core, vec in model.per_core_table().items():
+        rows.append(
+            {"core": core, "lut": vec.lut, "ff": vec.ff, "dsp": vec.dsp,
+             "bram": vec.bram}
+        )
+    total = model.total()
+    rows.append(
+        {"core": "Total (+scratchpad)", "lut": total.lut, "ff": total.ff,
+         "dsp": total.dsp, "bram": total.bram}
+    )
+    return {"columns": ["core", "lut", "ff", "dsp", "bram"], "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# Table XII — comparison with other FPGA prototypes
+# ----------------------------------------------------------------------
+def table12_fpga_comparison(config: HardwareConfig | None = None) -> dict:
+    """Poseidon's totals vs the published HEAX / Kim et al. numbers.
+
+    The 8.6 MB scratchpad maps to the U280's URAM banks, not its
+    BRAM36 blocks, so the BRAM column counts the operator cores only
+    (twiddle tables, HFAuto buffers) — the apples-to-apples number
+    against the rivals' reported BRAM.
+    """
+    model = ResourceModel(config or HardwareConfig())
+    total = model.total(include_scratchpad=False)
+    rows = [
+        {"design": "Kim et al. [25][26]", **KIM_RESOURCES},
+        {"design": "HEAX [32]", **HEAX_RESOURCES},
+        {
+            "design": "Poseidon (model)",
+            "lut": total.lut,
+            "ff": total.ff,
+            "dsp": total.dsp,
+            "bram": total.bram,
+        },
+    ]
+    return {"columns": ["design", "lut", "ff", "dsp", "bram"], "rows": rows}

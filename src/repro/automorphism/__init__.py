@@ -1,0 +1,31 @@
+"""Automorphism substrate: Galois index mapping and the HFAuto algorithm.
+
+Rotation of CKKS slot vectors is implemented by ring automorphisms
+``x -> x^g``. On coefficient vectors this is a signed permutation of
+length N (paper Eq. 4); HFAuto (Section III-B) reorganizes it into
+sub-vector row/column mappings so hardware can move C = 512 elements
+per cycle.
+"""
+
+from repro.automorphism.galois import (
+    galois_element_for_rotation,
+    rotation_for_galois_element,
+)
+from repro.automorphism.hfauto import HFAutoPlan, hfauto_apply
+from repro.automorphism.mapping import (
+    apply_automorphism_poly,
+    automorphism_indices,
+    automorphism_signs,
+    apply_automorphism_row,
+)
+
+__all__ = [
+    "HFAutoPlan",
+    "apply_automorphism_poly",
+    "apply_automorphism_row",
+    "automorphism_indices",
+    "automorphism_signs",
+    "galois_element_for_rotation",
+    "hfauto_apply",
+    "rotation_for_galois_element",
+]

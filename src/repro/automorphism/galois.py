@@ -1,0 +1,70 @@
+"""Galois elements for CKKS slot rotations.
+
+CKKS packs ``N/2`` complex slots into a degree-``N`` polynomial. A left
+rotation by ``r`` slots corresponds to the automorphism with Galois
+element ``g = 5^r mod 2N`` (5 generates the subgroup of ``Z_{2N}^*``
+that permutes slots cyclically); conjugation corresponds to ``g = 2N-1``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AutomorphismError
+from repro.utils.bitops import is_power_of_two
+
+#: Generator of the slot-rotation subgroup of Z_{2N}^*.
+ROTATION_GENERATOR = 5
+
+
+def galois_element_for_rotation(n: int, steps: int) -> int:
+    """Galois element for a rotation by ``steps`` slots (left if > 0).
+
+    Args:
+        n: ring degree (power of two); there are n/2 slots.
+        steps: rotation amount, taken modulo ``n/2``.
+    """
+    if not is_power_of_two(n) or n < 4:
+        raise AutomorphismError(f"degree must be a power of two >= 4, got {n}")
+    slots = n // 2
+    steps %= slots
+    return pow(ROTATION_GENERATOR, steps, 2 * n)
+
+
+def conjugation_element(n: int) -> int:
+    """Galois element of complex conjugation on the slots (= 2N - 1)."""
+    if not is_power_of_two(n) or n < 4:
+        raise AutomorphismError(f"degree must be a power of two >= 4, got {n}")
+    return 2 * n - 1
+
+
+def rotation_for_galois_element(n: int, galois: int) -> int | None:
+    """Invert :func:`galois_element_for_rotation`.
+
+    Returns the rotation step count ``r`` with ``5^r ≡ galois (mod 2N)``,
+    or ``None`` if ``galois`` is not in the rotation subgroup (e.g. the
+    conjugation element).
+    """
+    if not is_power_of_two(n) or n < 4:
+        raise AutomorphismError(f"degree must be a power of two >= 4, got {n}")
+    galois %= 2 * n
+    acc = 1
+    for r in range(n // 2):
+        if acc == galois:
+            return r
+        acc = acc * ROTATION_GENERATOR % (2 * n)
+    return None
+
+
+def hoisted_rotation_elements(n: int, steps_list) -> list[int]:
+    """Galois elements for a batch of rotations (hoisting-style reuse).
+
+    Deduplicates while preserving order, mirroring how evaluators reuse
+    one ModUp across several rotations of the same ciphertext.
+    """
+    seen: set[int] = set()
+    out: list[int] = []
+    for steps in steps_list:
+        g = galois_element_for_rotation(n, steps)
+        if g not in seen:
+            seen.add(g)
+            out.append(g)
+    return out

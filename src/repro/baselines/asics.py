@@ -1,0 +1,81 @@
+"""ASIC baselines: F1+, CraterLake, BTS and ARK (paper Table VI / X).
+
+These accelerators exist only as simulated prototypes in their papers;
+Poseidon compares against their reported benchmark times and energy
+efficiency. The constants below encode the paper's comparison rows
+(Table VI full-system times; hardware envelopes from the setup table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Full-system benchmark execution time in milliseconds (Table VI).
+#: Rows: accelerator; columns: the four benchmarks. Entries the paper
+#: does not report are omitted.
+ASIC_BENCHMARK_MS: dict[str, dict[str, float]] = {
+    "F1+": {
+        "LR": 639.0,
+        "Packed Bootstrapping": 321.0,
+    },
+    "CraterLake": {
+        "LR": 119.5,
+        "LSTM": 2663.0,
+        "ResNet-20": 4919.0,
+        "Packed Bootstrapping": 117.0,
+    },
+    "BTS": {
+        "LR": 28.4,
+        "LSTM": 1910.0,
+        "ResNet-20": 1910.0,
+        "Packed Bootstrapping": 58.9,
+    },
+    "ARK": {
+        "LR": 7.42,
+        "LSTM": 535.0,
+        "ResNet-20": 294.0,
+        "Packed Bootstrapping": 3.52,
+    },
+}
+
+#: Hardware envelopes (from the paper's comparison table): on-chip
+#: storage (MB), bandwidth (TB/s where meaningful) and power (W).
+ASIC_ENVELOPES = {
+    "F1+": {"sram_mb": 256, "power_w": 180.4},
+    "CraterLake": {"sram_mb": 256, "power_w": 320.0},
+    "BTS": {"sram_mb": 512, "power_w": 163.2},
+    "ARK": {"sram_mb": 512, "power_w": 281.3},
+}
+
+
+@dataclass(frozen=True)
+class AsicModel:
+    """One published-number ASIC comparator."""
+
+    name: str
+
+    @property
+    def benchmarks(self) -> dict[str, float]:
+        """Reported benchmark times (ms)."""
+        return ASIC_BENCHMARK_MS[self.name]
+
+    @property
+    def power_watts(self) -> float:
+        return ASIC_ENVELOPES[self.name]["power_w"]
+
+    def benchmark_ms(self, benchmark: str) -> float | None:
+        """Reported time for one benchmark, or None."""
+        return self.benchmarks.get(benchmark)
+
+    def edp(self, benchmark: str) -> float | None:
+        """EDP (J*s) from reported time and nominal power."""
+        ms = self.benchmark_ms(benchmark)
+        if ms is None:
+            return None
+        seconds = ms / 1e3
+        return self.power_watts * seconds * seconds
+
+
+def all_asics() -> list[AsicModel]:
+    """All four comparators in the paper's order."""
+    return [AsicModel(name) for name in ASIC_BENCHMARK_MS]

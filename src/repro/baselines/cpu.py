@@ -1,0 +1,125 @@
+"""Analytical single-thread CPU baseline (Intel Xeon Gold 6234, 3.3 GHz).
+
+The paper's CPU column runs a SEAL-style software library on one
+thread. This model prices each FHE basic operation from its arithmetic
+footprint — modular multiplications dominate single-thread time — with
+per-primitive costs calibrated to land on the paper's Table IV CPU
+throughputs at (N = 2^16, L = 44):
+
+    PMult 38.14 ops/s, CMult 0.38, NTT 9.25, Keyswitch 0.4,
+    Rotation 0.39, Rescale 6.9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.decompose import keyswitch_digits
+from repro.compiler.ops import FheOp, FheOpName
+from repro.errors import WorkloadError
+
+#: Paper Table IV, CPU column (operations per second). HAdd is not
+#: reported by the paper; the model derives it from the MA footprint.
+PAPER_CPU_OPS_PER_S = {
+    "PMult": 38.14,
+    "CMult": 0.38,
+    "NTT": 9.25,
+    "Keyswitch": 0.4,
+    "Rotation": 0.39,
+    "Rescale": 6.9,
+}
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Per-primitive costs in seconds on the modelled core."""
+
+    modmul: float = 3.4e-9      # 64-bit mulmod (Barrett) incl. loads
+    modadd: float = 0.8e-9
+    butterfly: float = 4.7e-9   # NTT butterfly: 1 mulmod + 2 addmod + idx
+
+
+class CpuModel:
+    """Prices FHE basic operations on a single CPU thread."""
+
+    def __init__(self, costs: CpuCosts | None = None):
+        self.costs = costs or CpuCosts()
+
+    # ------------------------------------------------------------------
+    # Primitive footprints
+    # ------------------------------------------------------------------
+    def ntt_seconds(self, degree: int, limbs: int) -> float:
+        """One polynomial NTT: (N/2) log2 N butterflies per limb."""
+        butterflies = (degree // 2) * int(math.log2(degree)) * limbs
+        return butterflies * self.costs.butterfly
+
+    def elementwise_seconds(self, degree: int, limbs: int, *,
+                            muls: int = 0, adds: int = 0) -> float:
+        """Element-wise passes over one polynomial."""
+        n = degree * limbs
+        return n * (muls * self.costs.modmul + adds * self.costs.modadd)
+
+    def keyswitch_seconds(self, op: FheOp) -> float:
+        """Digit decomposition + extended NTTs + products + ModDown."""
+        l = op.limbs
+        ext = op.extended_limbs
+        digits = keyswitch_digits(op)
+        seconds = self.ntt_seconds(op.degree, l)  # input INTT
+        for _ in range(digits):
+            seconds += self.ntt_seconds(op.degree, ext)
+            seconds += self.elementwise_seconds(
+                op.degree, ext, muls=2, adds=2
+            )
+        seconds += 2 * self.ntt_seconds(op.degree, ext)  # INTT both
+        seconds += self.elementwise_seconds(
+            op.degree, l, muls=2, adds=2
+        )  # ModDown
+        seconds += 2 * self.ntt_seconds(op.degree, l)  # back to NTT form
+        return seconds
+
+    # ------------------------------------------------------------------
+    def operation_seconds(self, op: FheOp) -> float:
+        """Single-thread latency of one basic operation."""
+        n, l = op.degree, op.limbs
+        name = op.name
+        if name is FheOpName.HADD:
+            return self.elementwise_seconds(n, l, adds=2)
+        if name is FheOpName.PMULT:
+            return self.elementwise_seconds(n, l, muls=2)
+        if name is FheOpName.CMULT:
+            tensor = self.elementwise_seconds(n, l, muls=4, adds=1)
+            return tensor + self.keyswitch_seconds(op)
+        if name is FheOpName.RESCALE:
+            # Software libraries keep one part in lazy coefficient
+            # form around rescale; ~1.2 poly-NTT equivalents transform.
+            return (
+                self.elementwise_seconds(n, l, muls=2, adds=2)
+                + 1.2 * self.ntt_seconds(n, max(1, l - 1))
+            )
+        if name is FheOpName.KEYSWITCH:
+            return self.keyswitch_seconds(op)
+        if name in (FheOpName.ROTATION, FheOpName.HOISTED_ROTATION):
+            automorphism = self.elementwise_seconds(n, l, adds=2)
+            return (
+                2 * automorphism
+                + self.keyswitch_seconds(op)
+                + self.elementwise_seconds(n, l, adds=1)
+            )
+        if name is FheOpName.AUTOMORPHISM:
+            return 2 * self.elementwise_seconds(n, l, adds=2)
+        if name is FheOpName.MODDROP:
+            return self.elementwise_seconds(n, l, adds=1)
+        raise WorkloadError(f"no CPU model for {name.value}")
+
+    def operations_per_second(self, op: FheOp) -> float:
+        """Throughput of one basic operation."""
+        return 1.0 / self.operation_seconds(op)
+
+    def ntt_op_seconds(self, degree: int, limbs: int) -> float:
+        """The standalone NTT 'operation' of Table IV (one ciphertext)."""
+        return self.ntt_seconds(degree, limbs)
+
+    def trace_seconds(self, ops) -> float:
+        """Serial execution time of a whole op stream."""
+        return sum(self.operation_seconds(op) for op in ops)

@@ -1,0 +1,35 @@
+"""GPU baseline: 'over100x' (Jung et al. [21]), NVIDIA Tesla V100.
+
+The paper compares against Jung et al.'s GPU implementation using its
+reported throughputs (Table IV) and benchmark times (Table VI /
+Table X). These systems are closed; the constants below are the
+figures the paper itself cites.
+"""
+
+from __future__ import annotations
+
+#: Table IV, GPU column (operations per second); '/' entries omitted.
+GPU_BASIC_OPS = {
+    "PMult": 7407.0,
+    "CMult": 57.0,
+    "Rotation": 61.0,
+    "Rescale": 1574.0,
+}
+
+#: Table VI, over100x GPU row (benchmark time in milliseconds).
+#: The GPU paper reports HELR iterations; others were not reported.
+GPU_BENCHMARK_MS = {
+    "LR": 775.0,
+}
+
+#: Nominal V100 board power (watts), for EDP comparisons (Table X).
+GPU_POWER_WATTS = 300.0
+
+
+def gpu_edp(benchmark: str) -> float | None:
+    """EDP (J*s) of the GPU baseline for a benchmark, if reported."""
+    ms = GPU_BENCHMARK_MS.get(benchmark)
+    if ms is None:
+        return None
+    seconds = ms / 1e3
+    return GPU_POWER_WATTS * seconds * seconds

@@ -1,0 +1,36 @@
+"""HEAX baseline: the state-of-the-art FPGA prototype the paper beats.
+
+HEAX (Riazi et al. [32]) is a fully pipelined FPGA design for CKKS.
+The paper estimates its best-case throughput under Poseidon's parameter
+setting from the HEAX hardware design (Table IV) and compares resource
+consumption (Table XII).
+"""
+
+from __future__ import annotations
+
+#: Table IV, HEAX column (operations per second, estimated by the
+#: paper for its parameter setting); '/' entries omitted.
+HEAX_BASIC_OPS = {
+    "PMult": 4161.0,
+    "CMult": 119.0,
+    # The paper quotes ~3x Keyswitch and ~50x NTT advantages for
+    # Poseidon; the implied HEAX numbers:
+    "Keyswitch": 104.0,
+    "NTT": 249.0,
+}
+
+#: Table XII-style resource totals reported for HEAX.
+HEAX_RESOURCES = {
+    "lut": 569000,
+    "ff": 1261000,
+    "dsp": 8448,
+    "bram": 2528,
+}
+
+#: Kim et al. [25][26] resources (the other FPGA row of Table XII).
+KIM_RESOURCES = {
+    "lut": 798000,
+    "ff": 1232000,
+    "dsp": 3584,
+    "bram": 3360,
+}

@@ -1,0 +1,56 @@
+"""Uniform access to every comparator the evaluation uses.
+
+The analysis layer asks one object for "GPU throughput on PMult" or
+"ARK's ResNet-20 time" without caring whether the number is computed
+(CPU model, Poseidon simulator) or published (GPU/HEAX/ASICs).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.asics import all_asics
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GPU_BASIC_OPS, GPU_BENCHMARK_MS
+from repro.baselines.heax import HEAX_BASIC_OPS
+from repro.compiler.ops import FheOp
+
+
+class BaselineRegistry:
+    """All baselines behind one interface."""
+
+    def __init__(self):
+        self.cpu = CpuModel()
+        self.asics = {a.name: a for a in all_asics()}
+
+    # ------------------------------------------------------------------
+    # Basic-operation throughput (Table IV columns)
+    # ------------------------------------------------------------------
+    def cpu_ops_per_second(self, op: FheOp) -> float:
+        """Computed CPU throughput for a basic operation."""
+        return self.cpu.operations_per_second(op)
+
+    def gpu_ops_per_second(self, op_name: str) -> float | None:
+        """Published GPU throughput, or None if not reported."""
+        return GPU_BASIC_OPS.get(op_name)
+
+    def heax_ops_per_second(self, op_name: str) -> float | None:
+        """Published/estimated HEAX throughput, or None."""
+        return HEAX_BASIC_OPS.get(op_name)
+
+    # ------------------------------------------------------------------
+    # Full-system benchmark times (Table VI rows)
+    # ------------------------------------------------------------------
+    def benchmark_rows(self, benchmark: str) -> dict[str, float]:
+        """Reported comparator times (ms) for one benchmark."""
+        out: dict[str, float] = {}
+        for name, asic in self.asics.items():
+            ms = asic.benchmark_ms(benchmark)
+            if ms is not None:
+                out[name] = ms
+        gpu = GPU_BENCHMARK_MS.get(benchmark)
+        if gpu is not None:
+            out["over100x (GPU)"] = gpu
+        return out
+
+    def comparator_names(self) -> list[str]:
+        """Every comparator the registry can answer for."""
+        return list(self.asics) + ["over100x (GPU)", "HEAX", "CPU"]

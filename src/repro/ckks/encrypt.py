@@ -1,0 +1,108 @@
+"""Encryption and decryption.
+
+Public-key encryption of a plaintext ``m``:
+
+    ct = (v*b + e_0 + m,  v*a + e_1)
+
+with ``(b, a)`` the public key, ``v`` a fresh ternary polynomial and
+``e_i`` Gaussian errors. Decryption evaluates ``sum_i c_i s^i`` and
+decodes the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncryptionError
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.keys import (
+    KeyChain,
+    sample_gaussian,
+    sample_ternary_integers,
+)
+from repro.ckks.params import CkksParameters
+from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.rns.poly import RnsPolynomial
+
+
+class CkksEncryptor:
+    """Public-key encryptor bound to one parameter set and keychain."""
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        keys: KeyChain,
+        *,
+        seed: int | None = None,
+    ):
+        if keys.params is not params:
+            # Allow equal-valued parameter objects too.
+            if keys.params != params:
+                raise EncryptionError(
+                    "keychain was generated for different parameters"
+                )
+        self.params = params
+        self.keys = keys
+        self._rng = np.random.default_rng(seed)
+
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt an encoded plaintext at the top level."""
+        params = self.params
+        ctx = params.context
+        if plaintext.poly.context != ctx:
+            raise EncryptionError(
+                "plaintext must be encoded over the full chain; got "
+                f"{plaintext.poly.context}"
+            )
+        n = params.degree
+        v_int = sample_ternary_integers(n, self._rng)
+        v = ntt_negacyclic(RnsPolynomial.from_integers(v_int, ctx))
+        e0 = sample_gaussian(ctx, n, self._rng)
+        e1 = sample_gaussian(ctx, n, self._rng)
+
+        pk = self.keys.public
+        c0 = intt_negacyclic(v.hadamard(pk.b)) + e0 + plaintext.poly
+        c1 = intt_negacyclic(v.hadamard(pk.a)) + e1
+        return Ciphertext(
+            parts=(c0, c1), scale=plaintext.scale, level=params.max_level
+        )
+
+    def encrypt_symmetric(self, plaintext: Plaintext) -> Ciphertext:
+        """Symmetric-key encryption ``( -a*s + e + m, a )``."""
+        params = self.params
+        ctx = params.context
+        n = params.degree
+        from repro.ckks.keys import sample_uniform
+
+        a = ntt_negacyclic(sample_uniform(ctx, n, self._rng))
+        e = sample_gaussian(ctx, n, self._rng)
+        s = self.keys.secret.poly_ntt(ctx)
+        c0 = intt_negacyclic(-(a.hadamard(s))) + e + plaintext.poly
+        c1 = intt_negacyclic(a)
+        return Ciphertext(
+            parts=(c0, c1), scale=plaintext.scale, level=params.max_level
+        )
+
+
+class CkksDecryptor:
+    """Decryptor holding the secret key."""
+
+    def __init__(self, params: CkksParameters, keys: KeyChain):
+        self.params = params
+        self.keys = keys
+
+    def decrypt(self, ciphertext: Ciphertext) -> Plaintext:
+        """Decrypt ``sum_i c_i * s^i`` back to an encoded plaintext.
+
+        Handles 2- and 3-part ciphertexts (the latter appear between
+        multiplication and relinearization).
+        """
+        ctx = ciphertext.parts[0].context
+        s_ntt = self.keys.secret.poly_ntt(ctx)
+        acc = ciphertext.parts[0]
+        s_power = s_ntt
+        for part in ciphertext.parts[1:]:
+            term = intt_negacyclic(ntt_negacyclic(part).hadamard(s_power))
+            acc = acc + term
+            s_power = s_power.hadamard(s_ntt)
+        return Plaintext(poly=acc, scale=ciphertext.scale)

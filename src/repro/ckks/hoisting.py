@@ -1,0 +1,123 @@
+"""Hoisted rotations: many rotations of one ciphertext, one decomposition.
+
+A rotation keyswitch spends most of its time lifting the digit
+decomposition of ``c_1`` into the extended basis and NTT-transforming
+it. When several rotations apply to the *same* ciphertext (BSGS baby
+steps), that work is identical across rotations — and in the
+*evaluation* domain the automorphism is a pure point permutation
+(:func:`repro.automorphism.mapping.apply_automorphism_eval`), so the
+hoisted NTT-domain digits can be permuted per rotation essentially for
+free. This is standard "hoisting" (HELR, bootstrapping libraries) and
+is exactly what the performance plane's ``HoistedRotation`` op models.
+
+Per rotation ``sigma_k`` of ``ct = (c_0, c_1)``:
+
+1. (hoisted, once) digits of ``c_1`` lifted into the extended basis
+   and NTT'd;
+2. permute each NTT-domain digit by the evaluation-domain map of
+   ``sigma_k``;
+3. multiply with the Galois key pairs, accumulate, INTT, ModDown;
+4. add the coefficient-domain ``sigma_k(c_0)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.automorphism.galois import galois_element_for_rotation
+from repro.automorphism.mapping import apply_automorphism_eval
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.keys import KeyChain
+from repro.ckks.keyswitch import lift_digit
+from repro.ckks.params import CkksParameters
+from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.rns.basis_convert import mod_down
+from repro.rns.poly import Domain, RnsPolynomial
+
+
+class HoistedRotator:
+    """Precomputed NTT-domain digit decomposition of one ciphertext.
+
+    Args:
+        params: parameter set.
+        keys: keychain (Galois keys are pulled lazily per step).
+        ciphertext: the 2-part ciphertext to rotate many times.
+        evaluator: optional — supplies the coefficient-domain
+            automorphism backend (HFAuto vs naive) for ``c_0``.
+    """
+
+    def __init__(
+        self,
+        params: CkksParameters,
+        keys: KeyChain,
+        ciphertext: Ciphertext,
+        *,
+        evaluator=None,
+    ):
+        if ciphertext.size != 2:
+            raise EvaluationError(
+                "hoisting expects a relinearized (2-part) ciphertext"
+            )
+        self.params = params
+        self.keys = keys
+        self.ciphertext = ciphertext
+        self.evaluator = evaluator
+        level = ciphertext.level
+        self._base_ctx = params.context_at_level(level)
+        self._ext_ctx = params.key_context_at_level(level)
+        # The hoisted work: lift every digit of c_1 into the extended
+        # basis and transform it once.
+        c1 = ciphertext.parts[1]
+        self._digits_ntt = [
+            ntt_negacyclic(lift_digit(c1.data[j], self._ext_ctx))
+            for j in range(level + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    def _coeff_automorphism(self, poly: RnsPolynomial, galois: int):
+        if self.evaluator is not None:
+            return self.evaluator._automorphism(poly, galois)
+        from repro.automorphism.hfauto import hfauto_apply
+
+        return hfauto_apply(poly, galois)
+
+    def rotate(self, steps: int) -> Ciphertext:
+        """One rotation reusing the hoisted digits."""
+        ct = self.ciphertext
+        if steps % self.params.slot_count == 0:
+            return ct
+        galois = galois_element_for_rotation(self.params.degree, steps)
+        key = self.keys.galois_key(galois)
+        level = ct.level
+        if level + 1 > key.rank:
+            raise EvaluationError(
+                f"switch key rank {key.rank} below needed {level + 1}"
+            )
+
+        acc_b: RnsPolynomial | None = None
+        acc_a: RnsPolynomial | None = None
+        for j, digit_ntt in enumerate(self._digits_ntt):
+            rotated = apply_automorphism_eval(digit_ntt, galois)
+            b_rows, a_rows = key.pair_rows(j, level, self.params)
+            key_b = RnsPolynomial(b_rows, self._ext_ctx, Domain.NTT)
+            key_a = RnsPolynomial(a_rows, self._ext_ctx, Domain.NTT)
+            term_b = rotated.hadamard(key_b)
+            term_a = rotated.hadamard(key_a)
+            acc_b = term_b if acc_b is None else acc_b + term_b
+            acc_a = term_a if acc_a is None else acc_a + term_a
+
+        delta0 = mod_down(
+            intt_negacyclic(acc_b), self._base_ctx, self.params.aux_context
+        )
+        delta1 = mod_down(
+            intt_negacyclic(acc_a), self._base_ctx, self.params.aux_context
+        )
+        rotated_c0 = self._coeff_automorphism(ct.parts[0], galois)
+        return Ciphertext(
+            parts=(rotated_c0 + delta0, delta1),
+            scale=ct.scale,
+            level=ct.level,
+        )
+
+    def rotate_many(self, steps_list) -> list[Ciphertext]:
+        """All rotations in one call (the BSGS baby-step pattern)."""
+        return [self.rotate(steps) for steps in steps_list]

@@ -1,0 +1,97 @@
+"""Key-material size accounting.
+
+FHE accelerators live and die by key traffic: every keyswitch streams
+its switch-key pairs from HBM (the paper's Fig. 4 datapath), and a
+rotation-heavy workload can touch dozens of distinct Galois keys. These
+helpers size the key material exactly as the simulator charges it, so
+capacity planning (does the working set fit in 8 GB of HBM?) and the
+bandwidth model agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParameters
+from repro.sim.config import LIMB_BYTES
+
+
+@dataclass(frozen=True)
+class KeySizeReport:
+    """Byte sizes of one party's key material."""
+
+    public_key_bytes: int
+    relin_key_bytes: int
+    galois_key_bytes: int
+    galois_key_count: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.public_key_bytes
+            + self.relin_key_bytes
+            + self.galois_key_bytes
+        )
+
+
+def polynomial_bytes(params: CkksParameters, limbs: int | None = None) -> int:
+    """One RNS polynomial's size (N x limbs x 4 bytes)."""
+    limbs = len(params.chain_moduli) if limbs is None else limbs
+    return params.degree * limbs * LIMB_BYTES
+
+
+def switch_key_bytes(params: CkksParameters) -> int:
+    """One gadget switch key: L pairs of polynomials over chain+aux.
+
+    The per-limb gadget (repro.ckks.keys.SwitchKey) stores
+    ``chain_length`` pairs, each pair two polynomials over the extended
+    basis — the dominant key cost, and exactly what keyswitch lowering
+    streams per digit.
+    """
+    chain = len(params.chain_moduli)
+    ext = chain + len(params.aux_moduli)
+    per_pair = 2 * polynomial_bytes(params, ext)
+    return chain * per_pair
+
+
+def ciphertext_bytes(params: CkksParameters, level: int | None = None) -> int:
+    """A 2-part ciphertext at ``level`` (defaults to the top)."""
+    limbs = (
+        len(params.chain_moduli) if level is None else level + 1
+    )
+    return 2 * polynomial_bytes(params, limbs)
+
+
+def key_size_report(
+    params: CkksParameters, *, rotation_steps: int = 0
+) -> KeySizeReport:
+    """Total key material for a workload using ``rotation_steps``
+    distinct rotation amounts (plus conjugation when > 0)."""
+    pk = 2 * polynomial_bytes(params)
+    relin = switch_key_bytes(params)
+    galois_count = rotation_steps + (1 if rotation_steps else 0)
+    galois = galois_count * switch_key_bytes(params)
+    return KeySizeReport(
+        public_key_bytes=pk,
+        relin_key_bytes=relin,
+        galois_key_bytes=galois,
+        galois_key_count=galois_count,
+    )
+
+
+def fits_in_hbm(
+    params: CkksParameters,
+    *,
+    rotation_steps: int,
+    ciphertext_count: int,
+    hbm_bytes: int = 8 * 2**30,
+) -> bool:
+    """Capacity check: keys + working ciphertexts vs HBM capacity.
+
+    The paper's U280 has 8 GB of HBM; BTS/ARK analyses show key
+    material dominating at bootstrapping-scale parameters — this
+    reproduces that arithmetic.
+    """
+    report = key_size_report(params, rotation_steps=rotation_steps)
+    working = ciphertext_count * ciphertext_bytes(params)
+    return report.total_bytes + working <= hbm_bytes

@@ -1,0 +1,89 @@
+"""The keyswitch primitive: digit decomposition -> NTT products -> ModDown.
+
+This is the operation the paper spends most of its architecture on
+(Fig. 4, RNSconv). Given a polynomial ``d`` encrypted under a source
+key ``s'`` and the per-limb gadget key of :class:`~repro.ckks.keys.
+SwitchKey`:
+
+1. **Decompose/ModUp** (Eq. 3): each RNS digit ``d_j = [d]_{q_j}`` is
+   lifted exactly into the extended basis ``Q_level ∪ P`` (the digit is
+   a small integer, so the lift is a plain remainder per modulus — the
+   MM/MA cascade of the hardware RNSconv unit).
+2. Pointwise NTT-domain products of each lifted digit with key pair
+   ``j``, accumulated across digits (MM + MA cores).
+3. **ModDown** (Eq. 2): divide the accumulators by ``P`` and return to
+   ``Q_level``.
+
+The output pair ``(delta_0, delta_1)`` satisfies
+``delta_0 + delta_1 * s ≈ d * s'`` with noise ``~ sum_j d_j e_j / P``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.ckks.keys import SwitchKey
+from repro.ckks.params import CkksParameters
+from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.rns.basis_convert import mod_down
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+
+
+def lift_digit(digit_row: np.ndarray, target: RnsContext) -> RnsPolynomial:
+    """Exact lift of one RNS digit into every modulus of ``target``.
+
+    The digit values are bounded by their source prime (< 2^31), so a
+    single remainder per target modulus reproduces the integer exactly.
+    """
+    rows = [
+        digit_row % np.uint64(m) for m in target.moduli
+    ]
+    return RnsPolynomial(np.stack(rows), target, Domain.COEFFICIENT)
+
+
+def apply_switch_key(
+    d: RnsPolynomial,
+    key: SwitchKey,
+    params: CkksParameters,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Switch ``d`` from the key's source secret to the canonical ``s``.
+
+    Args:
+        d: coefficient-domain polynomial over a chain-prefix basis
+           (e.g. the ``d_2`` part for relinearization, or a rotated
+           ``c_1`` for rotation keyswitch).
+        key: the per-limb gadget switch key for the source secret.
+        params: parameter set (provides the aux basis).
+
+    Returns:
+        ``(delta_0, delta_1)`` over ``d``'s basis, coefficient domain.
+    """
+    if d.domain is not Domain.COEFFICIENT:
+        raise EvaluationError("keyswitch input must be in coefficient domain")
+    level = d.level_count - 1
+    if level + 1 > key.rank:
+        raise EvaluationError(
+            f"switch key has rank {key.rank}, input needs {level + 1} digits"
+        )
+    base_ctx = d.context
+    ext_ctx = params.key_context_at_level(level)
+
+    acc_b: RnsPolynomial | None = None
+    acc_a: RnsPolynomial | None = None
+    for j in range(level + 1):
+        digit_ntt = ntt_negacyclic(lift_digit(d.data[j], ext_ctx))
+        b_rows, a_rows = key.pair_rows(j, level, params)
+        key_b = RnsPolynomial(b_rows, ext_ctx, Domain.NTT)
+        key_a = RnsPolynomial(a_rows, ext_ctx, Domain.NTT)
+        term_b = digit_ntt.hadamard(key_b)
+        term_a = digit_ntt.hadamard(key_a)
+        acc_b = term_b if acc_b is None else acc_b + term_b
+        acc_a = term_a if acc_a is None else acc_a + term_a
+
+    prod_b = intt_negacyclic(acc_b)
+    prod_a = intt_negacyclic(acc_a)
+    delta0 = mod_down(prod_b, base_ctx, params.aux_context)
+    delta1 = mod_down(prod_a, base_ctx, params.aux_context)
+    return delta0, delta1

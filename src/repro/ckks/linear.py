@@ -1,0 +1,185 @@
+"""Homomorphic linear algebra: matrix-vector products on packed slots.
+
+Implements the standard diagonal method: for an ``n x n`` matrix ``M``
+acting on the slot vector ``z``,
+
+    M z = sum_d  diag_d(M) ⊙ rot_d(z)
+
+where ``diag_d(M)[i] = M[i, (i+d) mod n]`` and ``rot_d`` rotates slots
+left by ``d``. With baby-step/giant-step (BSGS) the rotation count
+drops from ``n`` to ``~2*sqrt(n)`` — the optimization every FHE NN
+workload (HELR, LSTM, ResNet-20) leans on, and the reason Rotation is
+so prominent in the paper's operator breakdowns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.evaluator import CkksEvaluator
+
+
+def matrix_diagonals(matrix: np.ndarray) -> dict[int, np.ndarray]:
+    """Extract the nonzero generalized diagonals of a square matrix.
+
+    Returns a mapping ``d -> diag_d`` including only diagonals with at
+    least one nonzero entry (sparse matrices cost fewer rotations).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise EvaluationError(
+            f"expected a square matrix, got shape {matrix.shape}"
+        )
+    n = matrix.shape[0]
+    out: dict[int, np.ndarray] = {}
+    rows = np.arange(n)
+    for d in range(n):
+        diag = matrix[rows, (rows + d) % n]
+        if np.any(diag != 0):
+            out[d] = diag.astype(np.complex128)
+    return out
+
+
+class LinearTransform:
+    """A plaintext ``n x n`` matrix applied homomorphically to slots.
+
+    The slot vector is treated as n-periodic across the ciphertext's
+    N/2 slots (inputs must be replicated if n < N/2 and rotations by
+    ``d`` and ``d - n`` must agree — true when (N/2) % n == 0 and the
+    packed vector repeats).
+
+    Args:
+        evaluator: the evaluator performing rotations/multiplications.
+        encoder: used to encode the diagonals.
+        matrix: the complex matrix.
+        use_bsgs: enable baby-step/giant-step grouping.
+    """
+
+    def __init__(
+        self,
+        evaluator: CkksEvaluator,
+        encoder: CkksEncoder,
+        matrix: np.ndarray,
+        *,
+        use_bsgs: bool = True,
+        use_hoisting: bool = False,
+    ):
+        self.evaluator = evaluator
+        self.encoder = encoder
+        self.use_hoisting = use_hoisting
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        self.matrix = matrix
+        self.n = matrix.shape[0]
+        slots = encoder.slots
+        if slots % self.n != 0:
+            raise EvaluationError(
+                f"matrix dim {self.n} must divide slot count {slots}"
+            )
+        self.diagonals = matrix_diagonals(matrix)
+        self.use_bsgs = use_bsgs and len(self.diagonals) > 4
+        self.baby = (
+            max(1, int(round(math.sqrt(self.n)))) if self.use_bsgs else 1
+        )
+
+    # ------------------------------------------------------------------
+    def _tile(self, vec: np.ndarray) -> np.ndarray:
+        """Replicate an n-vector across all slots."""
+        reps = self.encoder.slots // self.n
+        return np.tile(vec, reps)
+
+    def _encode_diag(self, diag: np.ndarray, level: int):
+        ctx = self.evaluator.params.context_at_level(level)
+        return self.encoder.encode(self._tile(diag), context=ctx)
+
+    # ------------------------------------------------------------------
+    def apply(self, ct: Ciphertext) -> Ciphertext:
+        """Apply the matrix to a ciphertext; consumes one level.
+
+        The result scale is ``ct.scale * encoder scale`` before the
+        final rescale; callers receive a rescaled ciphertext.
+        """
+        ev = self.evaluator
+        if self.use_bsgs:
+            result = self._apply_bsgs(ct)
+        else:
+            result = self._apply_direct(ct)
+        return ev.rescale(result)
+
+    def _apply_direct(self, ct: Ciphertext) -> Ciphertext:
+        ev = self.evaluator
+        acc: Ciphertext | None = None
+        for d, diag in sorted(self.diagonals.items()):
+            rotated = ev.rotate(ct, d) if d else ct
+            term = ev.multiply_plain(
+                rotated, self._encode_diag(diag, rotated.level)
+            )
+            acc = term if acc is None else ev.add(acc, term)
+        if acc is None:
+            raise EvaluationError("matrix has no nonzero diagonals")
+        return acc
+
+    def _apply_bsgs(self, ct: Ciphertext) -> Ciphertext:
+        """BSGS: rot_d = rot_{g*baby} ∘ rot_b with pre-rotated diagonals.
+
+        sum_d diag_d ⊙ rot_d(z)
+          = sum_g rot_{g*baby}( sum_b rot_{-g*baby}(diag_{g*baby+b}) ⊙ rot_b(z) )
+        """
+        ev = self.evaluator
+        baby = self.baby
+        # Baby rotations of the input: hoisted (one shared digit
+        # decomposition, see repro.ckks.hoisting) or plain rotations.
+        baby_rots: dict[int, Ciphertext] = {}
+        needed_babies = {d % baby for d in self.diagonals}
+        if self.use_hoisting and len(needed_babies - {0}) > 1:
+            from repro.ckks.hoisting import HoistedRotator
+
+            rotator = HoistedRotator(
+                ev.params, ev.keys, ct, evaluator=ev
+            )
+            for b in sorted(needed_babies):
+                baby_rots[b] = rotator.rotate(b) if b else ct
+        else:
+            for b in sorted(needed_babies):
+                baby_rots[b] = ev.rotate(ct, b) if b else ct
+
+        # Group diagonals by giant step.
+        groups: dict[int, list[int]] = {}
+        for d in self.diagonals:
+            groups.setdefault(d // baby, []).append(d)
+
+        acc: Ciphertext | None = None
+        for g, ds in sorted(groups.items()):
+            inner: Ciphertext | None = None
+            shift = g * baby
+            for d in sorted(ds):
+                b = d % baby
+                # Pre-rotate the diagonal right by the giant shift.
+                diag = np.roll(self.diagonals[d], shift)
+                term = ev.multiply_plain(
+                    baby_rots[b], self._encode_diag(diag, baby_rots[b].level)
+                )
+                inner = term if inner is None else ev.add(inner, term)
+            assert inner is not None
+            outer = ev.rotate(inner, shift) if shift else inner
+            acc = outer if acc is None else ev.add(acc, outer)
+        if acc is None:
+            raise EvaluationError("matrix has no nonzero diagonals")
+        return acc
+
+    # ------------------------------------------------------------------
+    def reference(self, vec: np.ndarray) -> np.ndarray:
+        """Plaintext reference ``M @ vec`` (tiled), for tests."""
+        return self._tile(self.matrix @ np.asarray(vec)[: self.n])
+
+    def rotation_count(self) -> int:
+        """Rotations :meth:`apply` will perform (cost-model input)."""
+        if not self.use_bsgs:
+            return sum(1 for d in self.diagonals if d)
+        babies = {d % self.baby for d in self.diagonals} - {0}
+        giants = {d // self.baby for d in self.diagonals} - {0}
+        return len(babies) + len(giants)

@@ -1,0 +1,139 @@
+"""Noise budget estimation for CKKS ciphertexts.
+
+CKKS noise is additive in the message, so there is no hard "budget"
+like BFV — but tracking the expected noise magnitude against the scale
+tells you how many useful message bits remain. The estimator follows
+the standard canonical-embedding heuristics (Gentry-Halevi-Smart
+style constants) and is used by the tests to sanity-check that
+measured decryption error stays within a few standard deviations of
+the prediction, and by the workloads to decide when bootstrapping is
+required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import ERROR_STD, CkksParameters
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Expected noise magnitude (canonical embedding, high-probability).
+
+    Attributes:
+        magnitude: bound on |noise| in the slot domain.
+        scale: the scale the ciphertext carries.
+    """
+
+    magnitude: float
+    scale: float
+
+    @property
+    def message_bits(self) -> float:
+        """Bits of message precision left: log2(scale / noise)."""
+        if self.magnitude <= 0:
+            return float("inf")
+        return math.log2(max(self.scale / self.magnitude, 1.0))
+
+    def after_add(self, other: "NoiseEstimate") -> "NoiseEstimate":
+        """Noise of a homomorphic addition (independent-sum heuristic)."""
+        mag = math.hypot(self.magnitude, other.magnitude)
+        return NoiseEstimate(magnitude=mag, scale=self.scale)
+
+    def scaled(self, factor: float) -> "NoiseEstimate":
+        """Noise after multiplying the message by a known factor."""
+        return NoiseEstimate(
+            magnitude=self.magnitude * abs(factor), scale=self.scale
+        )
+
+
+class NoiseEstimator:
+    """Per-parameter-set noise model for the basic operations."""
+
+    def __init__(self, params: CkksParameters):
+        self.params = params
+        n = params.degree
+        # Expected l2/l1 norms for fresh errors under canonical embedding.
+        self._fresh_std = ERROR_STD * math.sqrt(n)
+        h = params.secret_hamming_weight or (2 * n // 3)
+        self._secret_norm = math.sqrt(h)
+
+    def fresh(self) -> NoiseEstimate:
+        """Noise of a freshly encrypted ciphertext.
+
+        e_total = v*e_pk + e_0 + e_1*s; the dominating contributions
+        scale with sqrt(N) under the canonical embedding.
+        """
+        n = self.params.degree
+        mag = ERROR_STD * (
+            math.sqrt(2 * n / 3) + 1.0 + self._secret_norm
+        ) * math.sqrt(n)
+        return NoiseEstimate(magnitude=8 * mag, scale=self.params.scale)
+
+    def after_multiply(
+        self, a: NoiseEstimate, b: NoiseEstimate,
+        a_message: float = 1.0, b_message: float = 1.0,
+    ) -> NoiseEstimate:
+        """Noise after CMult: cross terms message*noise dominate."""
+        mag = (
+            abs(a_message) * a.scale * b.magnitude
+            + abs(b_message) * b.scale * a.magnitude
+            + a.magnitude * b.magnitude
+        ) / max(a.scale, 1.0)
+        return NoiseEstimate(magnitude=mag, scale=a.scale * b.scale)
+
+    def after_rescale(self, est: NoiseEstimate, level: int) -> NoiseEstimate:
+        """Noise after Rescale: divide by q_level, add rounding noise."""
+        q = self.params.chain_moduli[level]
+        rounding = math.sqrt(self.params.degree / 12.0) * (
+            1.0 + self._secret_norm
+        )
+        return NoiseEstimate(
+            magnitude=est.magnitude / q + rounding,
+            scale=est.scale / q,
+        )
+
+    def keyswitch_additive(self, level: int) -> float:
+        """Extra noise one keyswitch injects at ``level``.
+
+        sum of (level+1) digit*error products divided by P, plus the
+        ModDown rounding term.
+        """
+        n = self.params.degree
+        digit_bound = max(self.params.chain_moduli[: level + 1])
+        accumulated = (
+            (level + 1)
+            * digit_bound
+            * ERROR_STD
+            * math.sqrt(n)
+        )
+        rounding = math.sqrt(n / 12.0) * (1.0 + self._secret_norm)
+        return accumulated / self.params.aux_product + rounding
+
+    def after_keyswitch(self, est: NoiseEstimate, level: int) -> NoiseEstimate:
+        """Noise after a rotation/relinearization keyswitch."""
+        return NoiseEstimate(
+            magnitude=est.magnitude + self.keyswitch_additive(level),
+            scale=est.scale,
+        )
+
+    def depth_capacity(self, message_bound: float = 1.0) -> int:
+        """How many multiply+rescale levels keep noise below the scale.
+
+        A coarse planning figure for workloads deciding where to place
+        bootstrapping (paper Table V's multiplicative depths).
+        """
+        est = self.fresh()
+        depth = 0
+        level = self.params.max_level
+        while level > 0:
+            est = self.after_multiply(est, est, message_bound, message_bound)
+            est = self.after_rescale(est, level)
+            est = self.after_keyswitch(est, level - 1)
+            if est.magnitude >= est.scale * abs(message_bound):
+                break
+            depth += 1
+            level -= 1
+        return depth

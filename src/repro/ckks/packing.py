@@ -1,0 +1,146 @@
+"""Slot-packing utilities: layouts, masks, replication, slot selection.
+
+Every packed workload (HELR features, LSTM state, ResNet feature maps)
+starts by arranging data into the N/2 complex slots and ends by
+extracting results from specific slot positions. These helpers collect
+the recurring layout operations:
+
+- :func:`tile_vector` / :func:`pad_vector` — plaintext-side layouts;
+- :func:`mask` — zero all slots outside a keep-set (one PMult);
+- :func:`extract_slot` — isolate slot ``i`` replicated everywhere
+  (mask + rotate-accumulate broadcast);
+- :func:`replicate_slot0` — broadcast slot 0 to all slots.
+
+Each homomorphic helper costs the documented operation count, so
+workload builders can charge traces consistently with the functional
+implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.evaluator import CkksEvaluator
+
+
+# ----------------------------------------------------------------------
+# Plaintext-side layouts
+# ----------------------------------------------------------------------
+def pad_vector(values, slots: int) -> np.ndarray:
+    """Zero-pad a vector to the slot count."""
+    values = np.asarray(values, dtype=np.complex128).ravel()
+    if values.shape[0] > slots:
+        raise EvaluationError(
+            f"{values.shape[0]} values exceed {slots} slots"
+        )
+    out = np.zeros(slots, dtype=np.complex128)
+    out[: values.shape[0]] = values
+    return out
+
+
+def tile_vector(values, slots: int) -> np.ndarray:
+    """Replicate a vector across the slots (dimension must divide)."""
+    values = np.asarray(values, dtype=np.complex128).ravel()
+    n = values.shape[0]
+    if n == 0 or slots % n != 0:
+        raise EvaluationError(
+            f"vector length {n} must divide the slot count {slots}"
+        )
+    return np.tile(values, slots // n)
+
+
+def interleave(vectors, slots: int) -> np.ndarray:
+    """Pack k vectors strided: slot j*k+i holds vectors[i][j].
+
+    The layout used to batch independent records into one ciphertext.
+    """
+    vectors = [np.asarray(v, dtype=np.complex128).ravel() for v in vectors]
+    k = len(vectors)
+    if k == 0:
+        raise EvaluationError("need at least one vector to interleave")
+    length = vectors[0].shape[0]
+    if any(v.shape[0] != length for v in vectors):
+        raise EvaluationError("interleaved vectors must share a length")
+    if k * length > slots:
+        raise EvaluationError(
+            f"{k} x {length} values exceed {slots} slots"
+        )
+    out = np.zeros(slots, dtype=np.complex128)
+    for i, vec in enumerate(vectors):
+        out[i::k][:length] = vec
+    return out
+
+
+# ----------------------------------------------------------------------
+# Homomorphic layout operations
+# ----------------------------------------------------------------------
+def mask(
+    evaluator: CkksEvaluator,
+    encoder: CkksEncoder,
+    ct: Ciphertext,
+    keep_slots,
+) -> Ciphertext:
+    """Zero every slot not in ``keep_slots`` (one PMult + Rescale)."""
+    selector = np.zeros(encoder.slots)
+    for idx in keep_slots:
+        if not (0 <= idx < encoder.slots):
+            raise EvaluationError(f"slot {idx} out of range")
+        selector[idx] = 1.0
+    pt = encoder.encode(
+        selector, context=evaluator.params.context_at_level(ct.level)
+    )
+    return evaluator.rescale(evaluator.multiply_plain(ct, pt))
+
+
+def replicate_slot0(
+    evaluator: CkksEvaluator,
+    ct: Ciphertext,
+    width: int,
+) -> Ciphertext:
+    """Broadcast slot 0's value into the first ``width`` slots.
+
+    Requires slot 0 to be the only nonzero slot in that window (mask
+    first otherwise). Costs log2(width) rotations + adds: the standard
+    doubling broadcast.
+    """
+    if width & (width - 1):
+        raise EvaluationError(f"width must be a power of two, got {width}")
+    acc = ct
+    step = 1
+    while step < width:
+        acc = evaluator.add(
+            acc, evaluator.rotate(acc, -step)
+        )
+        step <<= 1
+    return acc
+
+
+def extract_slot(
+    evaluator: CkksEvaluator,
+    encoder: CkksEncoder,
+    ct: Ciphertext,
+    index: int,
+    *,
+    broadcast_width: int = 1,
+) -> Ciphertext:
+    """Isolate slot ``index`` (optionally broadcast over a window).
+
+    Costs: one rotation (bring the slot to position 0), one mask
+    PMult, and log2(broadcast_width) rotations when broadcasting.
+    """
+    shifted = evaluator.rotate(ct, index) if index else ct
+    isolated = mask(evaluator, encoder, shifted, [0])
+    if broadcast_width > 1:
+        isolated = replicate_slot0(evaluator, isolated, broadcast_width)
+    return isolated
+
+
+def packing_cost_ops(width: int) -> dict[str, int]:
+    """Operation counts of extract+broadcast (trace-builder companion)."""
+    rotations = 1 + max(0, int(math.log2(max(1, width))))
+    return {"Rotation": rotations, "PMult": 1, "HAdd": rotations - 1}

@@ -1,0 +1,160 @@
+"""CKKS parameter sets under Poseidon's 32-bit limb constraint.
+
+The paper fixes limb width to 32 bits (Section IV-A) so that all
+datapath arithmetic is single-word; we follow suit with 30-bit chain
+primes and 31-bit auxiliary ('special') primes for the hybrid
+keyswitch. The default scale is ``2^26``, leaving headroom between the
+scale and the ~2^30 primes so rescaling keeps the scale stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ParameterError
+from repro.rns.context import RnsContext
+from repro.utils.bitops import is_power_of_two
+from repro.utils.primes import find_ntt_primes
+
+#: Gaussian error standard deviation (the lattice-crypto standard).
+ERROR_STD = 3.2
+
+#: Paper Table V-style presets: polynomial degree and chain length used
+#: by the four benchmarks (scaled-down degrees keep the functional plane
+#: fast; the simulator accepts the full-size parameters independently).
+PAPER_FULL_DEGREE = 1 << 16
+PAPER_FULL_LEVELS = 44
+
+
+@dataclass(frozen=True)
+class CkksParameters:
+    """Immutable CKKS parameter set.
+
+    Attributes:
+        degree: ring degree N (power of two). Slots = N/2.
+        chain_moduli: the ciphertext modulus chain ``(q_0 ... q_{L-1})``.
+        aux_moduli: the keyswitch auxiliary basis ``(p_0 ... p_{k-1})``.
+        scale: the encoding scale Delta.
+        secret_hamming_weight: nonzeros in the ternary secret (0 means
+            dense uniform ternary).
+    """
+
+    degree: int
+    chain_moduli: tuple[int, ...]
+    aux_moduli: tuple[int, ...]
+    scale: float
+    secret_hamming_weight: int = 0
+
+    def __post_init__(self):
+        if not is_power_of_two(self.degree) or self.degree < 8:
+            raise ParameterError(
+                f"degree must be a power of two >= 8, got {self.degree}"
+            )
+        if not self.chain_moduli:
+            raise ParameterError("modulus chain must be non-empty")
+        if not self.aux_moduli:
+            raise ParameterError("need at least one auxiliary prime")
+        if self.scale <= 1:
+            raise ParameterError(f"scale must exceed 1, got {self.scale}")
+        overlap = set(self.chain_moduli) & set(self.aux_moduli)
+        if overlap:
+            raise ParameterError(
+                f"chain and aux moduli must be disjoint, share {overlap}"
+            )
+        if self.secret_hamming_weight < 0 or (
+            self.secret_hamming_weight > self.degree
+        ):
+            raise ParameterError(
+                "secret hamming weight must be in [0, degree], got "
+                f"{self.secret_hamming_weight}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        degree: int = 4096,
+        levels: int = 4,
+        *,
+        aux_count: int = 1,
+        scale_bits: int = 26,
+        chain_bits: int = 30,
+        aux_bits: int = 31,
+        secret_hamming_weight: int = 0,
+    ) -> "CkksParameters":
+        """Generate a parameter set with fresh NTT-friendly primes.
+
+        Args:
+            degree: ring degree N.
+            levels: chain length L (multiplicative depth = L - 1).
+            aux_count: number of special primes for keyswitching.
+            scale_bits: log2 of the encoding scale.
+            chain_bits: bit width of chain primes (30 keeps products
+                in uint64 and mirrors the paper's 32-bit datapath).
+            aux_bits: bit width of special primes (disjoint range).
+        """
+        chain = find_ntt_primes(chain_bits, levels, degree)
+        aux = find_ntt_primes(aux_bits, aux_count, degree)
+        return cls(
+            degree=degree,
+            chain_moduli=tuple(chain),
+            aux_moduli=tuple(aux),
+            scale=float(1 << scale_bits),
+            secret_hamming_weight=secret_hamming_weight,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        """Number of complex slots (N/2)."""
+        return self.degree // 2
+
+    @property
+    def max_level(self) -> int:
+        """Highest ciphertext level (L - 1); level 0 is the last one."""
+        return len(self.chain_moduli) - 1
+
+    @cached_property
+    def context(self) -> RnsContext:
+        """RNS context over the full modulus chain."""
+        return RnsContext(self.chain_moduli)
+
+    @cached_property
+    def aux_context(self) -> RnsContext:
+        """RNS context over the auxiliary (special-prime) basis."""
+        return RnsContext(self.aux_moduli)
+
+    @cached_property
+    def key_context(self) -> RnsContext:
+        """RNS context over chain + aux (where switch keys live)."""
+        return RnsContext(self.chain_moduli + self.aux_moduli)
+
+    def context_at_level(self, level: int) -> RnsContext:
+        """RNS context for a ciphertext at ``level`` (level+1 limbs)."""
+        if not (0 <= level <= self.max_level):
+            raise ParameterError(
+                f"level must be in [0, {self.max_level}], got {level}"
+            )
+        return self.context.first(level + 1)
+
+    def key_context_at_level(self, level: int) -> RnsContext:
+        """Chain-prefix + aux context used by keyswitch at ``level``."""
+        return RnsContext(
+            self.chain_moduli[: level + 1] + self.aux_moduli
+        )
+
+    @property
+    def aux_product(self) -> int:
+        """P = prod(aux_moduli), the keyswitch scaling factor."""
+        product = 1
+        for p in self.aux_moduli:
+            product *= p
+        return product
+
+    def __repr__(self) -> str:
+        return (
+            f"CkksParameters(N={self.degree}, L={len(self.chain_moduli)}, "
+            f"aux={len(self.aux_moduli)}, scale=2^"
+            f"{int(round(__import__('math').log2(self.scale)))})"
+        )

@@ -1,0 +1,145 @@
+"""Level/bootstrap planning: where must a circuit refresh?
+
+Given an abstract multiplicative-depth schedule (a sequence of circuit
+stages, each consuming some levels), the planner decides where to
+insert bootstraps using the chain length and the bootstrap's own depth
+— the budgeting exercise behind the paper's Table V parameter choices
+(LR's L = 38 with 2 bootstraps, LSTM's per-step refreshes).
+
+The planner is deliberately deterministic and greedy: refresh as late
+as possible. For CKKS that is the standard policy (noise is additive
+and the rescale ladder dominates level consumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One circuit stage: a name and the levels it consumes."""
+
+    name: str
+    levels: int
+
+    def __post_init__(self):
+        if self.levels < 0:
+            raise WorkloadError(
+                f"stage {self.name!r} has negative level cost"
+            )
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One scheduled item: a stage or a bootstrap insertion."""
+
+    kind: str               # "stage" | "bootstrap"
+    name: str
+    level_before: int
+    level_after: int
+
+
+@dataclass(frozen=True)
+class BootstrapPlan:
+    """The planner's output schedule."""
+
+    entries: tuple[PlanEntry, ...]
+    bootstrap_count: int
+    final_level: int
+
+    def stages(self) -> list[PlanEntry]:
+        return [e for e in self.entries if e.kind == "stage"]
+
+    def bootstraps(self) -> list[PlanEntry]:
+        return [e for e in self.entries if e.kind == "bootstrap"]
+
+
+class LevelPlanner:
+    """Greedy lazy-bootstrap scheduler.
+
+    Args:
+        top_level: the chain's top level (a bootstrap refreshes here
+            before consuming its own depth).
+        bootstrap_depth: levels one bootstrap pipeline consumes.
+        reserve: levels to keep in hand after any stage (safety margin
+            so the *next* operation can still rescale).
+    """
+
+    def __init__(
+        self,
+        *,
+        top_level: int,
+        bootstrap_depth: int,
+        reserve: int = 1,
+    ):
+        if bootstrap_depth >= top_level:
+            raise WorkloadError(
+                f"bootstrap depth {bootstrap_depth} exceeds chain top "
+                f"{top_level}: no level budget remains after a refresh"
+            )
+        if reserve < 0:
+            raise WorkloadError("reserve must be non-negative")
+        self.top_level = top_level
+        self.bootstrap_depth = bootstrap_depth
+        self.reserve = reserve
+
+    @property
+    def refreshed_level(self) -> int:
+        """Level available right after a bootstrap completes."""
+        return self.top_level - self.bootstrap_depth
+
+    def plan(self, stages, *, start_level: int | None = None) -> BootstrapPlan:
+        """Schedule ``stages`` with lazy bootstrap insertion.
+
+        Raises:
+            WorkloadError: if any single stage exceeds what even a
+                fresh bootstrap can provide.
+        """
+        level = self.top_level if start_level is None else start_level
+        entries: list[PlanEntry] = []
+        boots = 0
+        for stage in stages:
+            need = stage.levels + self.reserve
+            if need > self.refreshed_level:
+                raise WorkloadError(
+                    f"stage {stage.name!r} needs {need} levels but a "
+                    f"bootstrap only yields {self.refreshed_level}; "
+                    "split the stage or deepen the chain"
+                )
+            if level < need:
+                entries.append(
+                    PlanEntry(
+                        kind="bootstrap",
+                        name=f"bootstrap#{boots}",
+                        level_before=level,
+                        level_after=self.refreshed_level,
+                    )
+                )
+                level = self.refreshed_level
+                boots += 1
+            entries.append(
+                PlanEntry(
+                    kind="stage",
+                    name=stage.name,
+                    level_before=level,
+                    level_after=level - stage.levels,
+                )
+            )
+            level -= stage.levels
+        return BootstrapPlan(
+            entries=tuple(entries),
+            bootstrap_count=boots,
+            final_level=level,
+        )
+
+    def minimum_bootstraps(self, stages) -> int:
+        """Just the count (for budgeting like the paper's Table V)."""
+        return self.plan(stages).bootstrap_count
+
+
+def uniform_stages(count: int, levels_each: int, prefix: str = "stage") -> list[Stage]:
+    """Helper: ``count`` identical stages (LSTM steps, conv layers)."""
+    return [Stage(f"{prefix}{i}", levels_each) for i in range(count)]

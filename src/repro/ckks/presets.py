@@ -1,0 +1,83 @@
+"""Named parameter presets.
+
+Bundles the parameter choices used across this repository so examples,
+tests and benches agree on what "toy", "demo" and "paper-scale" mean:
+
+- ``TOY``       — fastest functional correctness checks (N = 256).
+- ``DEMO``      — example scripts: real sizes, seconds-scale runtimes.
+- ``BOOTSTRAP`` — the smallest set that bootstraps (sparse secret,
+  scale = prime so the EvalMod scale algebra closes).
+- ``PAPER_*``   — the Table V benchmark shapes for the *simulator*
+  (degree/level/aux only; the functional plane cannot execute 2^16
+  in reasonable time, which is exactly why the performance plane
+  consumes traces instead).
+
+Presets for the functional plane construct real parameter objects;
+paper-scale presets return the trace-builder keyword dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.bootstrap import BootstrapConfig
+from repro.ckks.params import CkksParameters
+
+
+def toy() -> CkksParameters:
+    """Sub-second everything; matches the test suite's fixtures."""
+    return CkksParameters.default(degree=256, levels=4)
+
+
+def demo() -> CkksParameters:
+    """Example-script scale: 1024 slots, a few multiplications deep."""
+    return CkksParameters.default(degree=2048, levels=6)
+
+
+def bootstrap_capable(
+    config: BootstrapConfig | None = None,
+) -> tuple[CkksParameters, BootstrapConfig]:
+    """The smallest functional set that supports full bootstrapping.
+
+    Scale = 2^30 (matching the ~30-bit primes) keeps the rescale
+    ladder's scale stable through the deep EvalMod pipeline; the
+    sparse secret (h = 8) bounds the ModRaise overflow count.
+    """
+    config = config or BootstrapConfig(
+        taylor_degree=7, double_angles=4, message_bound=0.05
+    )
+    params = CkksParameters.default(
+        degree=64,
+        levels=config.total_depth + 2,
+        scale_bits=30,
+        secret_hamming_weight=8,
+    )
+    return params, config
+
+
+@dataclass(frozen=True)
+class PaperScale:
+    """Trace-builder arguments for one Table V benchmark."""
+
+    name: str
+    degree: int
+    top_level: int
+    aux_limbs: int
+
+    def as_kwargs(self) -> dict:
+        return {"degree": self.degree, "top_level": self.top_level}
+
+
+PAPER_LR = PaperScale("LR", degree=1 << 16, top_level=44, aux_limbs=4)
+PAPER_LSTM = PaperScale("LSTM", degree=1 << 16, top_level=24, aux_limbs=4)
+PAPER_RESNET = PaperScale(
+    "ResNet-20", degree=1 << 16, top_level=44, aux_limbs=4
+)
+PAPER_BOOTSTRAP = PaperScale(
+    "Packed Bootstrapping", degree=1 << 16, top_level=60, aux_limbs=4
+)
+
+PAPER_SCALES = {
+    p.name: p
+    for p in (PAPER_LR, PAPER_LSTM, PAPER_RESNET, PAPER_BOOTSTRAP)
+}

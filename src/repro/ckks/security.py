@@ -1,0 +1,124 @@
+"""Security estimation for parameter sets.
+
+Maps (ring degree N, total modulus bits log2(P*Q)) to an estimated
+classical security level using the homomorphic encryption standard's
+tables (Albrecht et al., homomorphicencryption.org, ternary secret,
+classical hardness). The paper targets "tough security levels" with a
+32-bit-limb chain; this module makes the implied budget explicit and
+lets tests assert that the default parameter factory stays within it.
+
+The table gives, per degree, the maximum total modulus bits for 128-,
+192- and 256-bit security. Between table rows we interpolate linearly
+in log2(N) — a standard, slightly conservative approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParameters
+from repro.errors import ParameterError
+
+#: HE-standard maximum log2(Q*P) per (log2 N, security level), ternary
+#: secret, classical attacks.
+_STANDARD_TABLE: dict[int, dict[int, int]] = {
+    10: {128: 27, 192: 19, 256: 14},
+    11: {128: 54, 192: 37, 256: 29},
+    12: {128: 109, 192: 75, 256: 58},
+    13: {128: 218, 192: 152, 256: 118},
+    14: {128: 438, 192: 305, 256: 237},
+    15: {128: 881, 192: 611, 256: 476},
+    16: {128: 1772, 192: 1228, 256: 956},
+    17: {128: 3576, 192: 2469, 256: 1918},
+}
+
+SECURITY_LEVELS = (128, 192, 256)
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Outcome of a security check."""
+
+    degree: int
+    total_modulus_bits: float
+    max_bits_128: float
+    achieved_level: int | None
+
+    @property
+    def is_standard_secure(self) -> bool:
+        """At least 128-bit classical security per the standard."""
+        return self.achieved_level is not None
+
+
+def max_modulus_bits(degree: int, security: int = 128) -> float:
+    """Largest total modulus (bits) the standard allows at ``degree``.
+
+    Degrees between table rows interpolate on log2(N); degrees above
+    the table extrapolate proportionally (log2 Q budget is ~linear in
+    N at fixed security).
+    """
+    if security not in SECURITY_LEVELS:
+        raise ParameterError(
+            f"security must be one of {SECURITY_LEVELS}, got {security}"
+        )
+    logn = math.log2(degree)
+    if logn < min(_STANDARD_TABLE):
+        return 0.0
+    known = sorted(_STANDARD_TABLE)
+    if logn >= known[-1]:
+        # Linear extrapolation per doubling beyond the table.
+        top = _STANDARD_TABLE[known[-1]][security]
+        prev = _STANDARD_TABLE[known[-2]][security]
+        return top + (top - prev) * (logn - known[-1])
+    lo = max(k for k in known if k <= logn)
+    hi = min(k for k in known if k >= logn)
+    if lo == hi:
+        return float(_STANDARD_TABLE[lo][security])
+    frac = (logn - lo) / (hi - lo)
+    a = _STANDARD_TABLE[lo][security]
+    b = _STANDARD_TABLE[hi][security]
+    return a + frac * (b - a)
+
+
+def total_modulus_bits(params: CkksParameters) -> float:
+    """log2 of the full key modulus P*Q (chain + aux primes)."""
+    bits = 0.0
+    for q in params.chain_moduli + params.aux_moduli:
+        bits += math.log2(q)
+    return bits
+
+
+def estimate(params: CkksParameters) -> SecurityEstimate:
+    """Security estimate for a parameter set."""
+    bits = total_modulus_bits(params)
+    achieved: int | None = None
+    for level in sorted(SECURITY_LEVELS, reverse=True):
+        if bits <= max_modulus_bits(params.degree, level):
+            achieved = level
+            break
+    return SecurityEstimate(
+        degree=params.degree,
+        total_modulus_bits=bits,
+        max_bits_128=max_modulus_bits(params.degree, 128),
+        achieved_level=achieved,
+    )
+
+
+def max_chain_length(
+    degree: int,
+    *,
+    chain_bits: int = 30,
+    aux_count: int = 1,
+    aux_bits: int = 31,
+    security: int = 128,
+) -> int:
+    """How many 30-bit chain primes fit at a security level.
+
+    The paper's §IV-A argument in reverse: with 32-bit limbs and a
+    modulo-chain length L = 60 the degree must be large; this computes
+    the admissible L for any N.
+    """
+    budget = max_modulus_bits(degree, security)
+    budget -= aux_count * aux_bits
+    return max(0, int(budget // chain_bits))

@@ -1,0 +1,162 @@
+"""Serialization of ciphertexts, plaintexts and keys.
+
+Wire format: a small JSON header (versioned, carries shape/scale/level
+metadata) followed by raw little-endian uint32 residue words — the
+paper's 32-bit limb layout, so serialized sizes match the
+:mod:`repro.ckks.keysize` accounting and what the simulator charges
+for HBM traffic.
+
+The format is deliberately simple and self-describing rather than
+clever: a downstream user can parse it with ``json`` + ``numpy`` in a
+dozen lines.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.params import CkksParameters
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+
+#: Format magic + version.
+MAGIC = b"PSDN"
+VERSION = 1
+
+
+def _pack(header: dict, payload: bytes) -> bytes:
+    head = json.dumps(header, sort_keys=True).encode()
+    return MAGIC + struct.pack("<HI", VERSION, len(head)) + head + payload
+
+
+def _unpack(blob: bytes) -> tuple[dict, bytes]:
+    if blob[:4] != MAGIC:
+        raise ParameterError("not a Poseidon serialization (bad magic)")
+    version, head_len = struct.unpack("<HI", blob[4:10])
+    if version != VERSION:
+        raise ParameterError(f"unsupported serialization version {version}")
+    head = json.loads(blob[10:10 + head_len].decode())
+    return head, blob[10 + head_len:]
+
+
+# ----------------------------------------------------------------------
+# Polynomials
+# ----------------------------------------------------------------------
+def poly_to_bytes(poly: RnsPolynomial) -> bytes:
+    """Serialize one RNS polynomial (moduli travel in the header)."""
+    if np.any(poly.data >> np.uint64(32)):
+        raise ParameterError(
+            "residues exceed 32 bits; not representable in limb format"
+        )
+    header = {
+        "kind": "poly",
+        "degree": poly.degree,
+        "moduli": [int(q) for q in poly.context.moduli],
+        "domain": poly.domain.value,
+    }
+    payload = poly.data.astype("<u4").tobytes()
+    return _pack(header, payload)
+
+
+def poly_from_bytes(blob: bytes) -> RnsPolynomial:
+    """Inverse of :func:`poly_to_bytes`."""
+    header, payload = _unpack(blob)
+    if header.get("kind") != "poly":
+        raise ParameterError(f"expected a poly blob, got {header.get('kind')}")
+    moduli = header["moduli"]
+    degree = header["degree"]
+    data = np.frombuffer(payload, dtype="<u4").astype(np.uint64)
+    data = data.reshape(len(moduli), degree)
+    return RnsPolynomial(
+        data, RnsContext(moduli), Domain(header["domain"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Ciphertexts / plaintexts
+# ----------------------------------------------------------------------
+def ciphertext_to_bytes(ct: Ciphertext) -> bytes:
+    """Serialize a ciphertext (all parts plus scale/level)."""
+    parts = [poly_to_bytes(p) for p in ct.parts]
+    header = {
+        "kind": "ciphertext",
+        "scale": ct.scale,
+        "level": ct.level,
+        "part_lengths": [len(p) for p in parts],
+    }
+    return _pack(header, b"".join(parts))
+
+
+def ciphertext_from_bytes(blob: bytes) -> Ciphertext:
+    """Inverse of :func:`ciphertext_to_bytes`."""
+    header, payload = _unpack(blob)
+    if header.get("kind") != "ciphertext":
+        raise ParameterError(
+            f"expected a ciphertext blob, got {header.get('kind')}"
+        )
+    parts = []
+    offset = 0
+    for length in header["part_lengths"]:
+        parts.append(poly_from_bytes(payload[offset:offset + length]))
+        offset += length
+    return Ciphertext(
+        parts=tuple(parts),
+        scale=float(header["scale"]),
+        level=int(header["level"]),
+    )
+
+
+def plaintext_to_bytes(pt: Plaintext) -> bytes:
+    """Serialize an encoded plaintext."""
+    body = poly_to_bytes(pt.poly)
+    header = {"kind": "plaintext", "scale": pt.scale}
+    return _pack(header, body)
+
+
+def plaintext_from_bytes(blob: bytes) -> Plaintext:
+    """Inverse of :func:`plaintext_to_bytes`."""
+    header, payload = _unpack(blob)
+    if header.get("kind") != "plaintext":
+        raise ParameterError(
+            f"expected a plaintext blob, got {header.get('kind')}"
+        )
+    return Plaintext(
+        poly=poly_from_bytes(payload), scale=float(header["scale"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Parameters
+# ----------------------------------------------------------------------
+def params_to_bytes(params: CkksParameters) -> bytes:
+    """Serialize a parameter set (no key material)."""
+    header = {
+        "kind": "params",
+        "degree": params.degree,
+        "chain_moduli": [int(q) for q in params.chain_moduli],
+        "aux_moduli": [int(q) for q in params.aux_moduli],
+        "scale": params.scale,
+        "secret_hamming_weight": params.secret_hamming_weight,
+    }
+    return _pack(header, b"")
+
+
+def params_from_bytes(blob: bytes) -> CkksParameters:
+    """Inverse of :func:`params_to_bytes`."""
+    header, _ = _unpack(blob)
+    if header.get("kind") != "params":
+        raise ParameterError(
+            f"expected a params blob, got {header.get('kind')}"
+        )
+    return CkksParameters(
+        degree=int(header["degree"]),
+        chain_moduli=tuple(header["chain_moduli"]),
+        aux_moduli=tuple(header["aux_moduli"]),
+        scale=float(header["scale"]),
+        secret_hamming_weight=int(header["secret_hamming_weight"]),
+    )

@@ -1,0 +1,269 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table4
+    python -m repro.cli fig10 --radix 2 3 4 5 6
+    python -m repro.cli table6 --lanes 256
+    python -m repro.cli fig11 --workload LR
+
+Each command prints the same rows the corresponding bench target
+asserts on, so results can be inspected without running pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    fig7_operator_analysis,
+    fig8_benchmark_op_breakdown,
+    fig9_operator_breakdown,
+    fig10_k_sweep,
+    fig11_lane_scaling,
+    fig12_energy_breakdown,
+    table1_operator_usage,
+    table2_ntt_fusion,
+    table4_basic_ops,
+    table6_full_system,
+    table7_bandwidth,
+    table8_hfauto_resources,
+    table9_hfauto_ablation,
+    table10_edp,
+    table11_core_resources,
+    table12_fpga_comparison,
+)
+from repro.analysis.report import render_shares, render_table
+from repro.sim.config import HardwareConfig
+
+
+def _config_from_args(args) -> HardwareConfig:
+    config = HardwareConfig(use_hfauto=not args.naive_auto)
+    if args.lanes != 512:
+        config = config.with_lanes(args.lanes)
+    return config
+
+
+def _print_table(data: dict, title: str) -> None:
+    print(render_table(data["columns"], data["rows"], title=title))
+
+
+def cmd_table1(args) -> None:
+    _print_table(table1_operator_usage(), "Table I — operator usage")
+
+
+def cmd_table2(args) -> None:
+    _print_table(table2_ntt_fusion(), "Table II — NTT-fusion counts")
+
+
+def cmd_table4(args) -> None:
+    _print_table(
+        table4_basic_ops(_config_from_args(args)),
+        "Table IV — basic-operation throughput (ops/s)",
+    )
+
+
+def cmd_table6(args) -> None:
+    _print_table(
+        table6_full_system(_config_from_args(args)),
+        "Table VI — full-system benchmark times (ms)",
+    )
+
+
+def cmd_table7(args) -> None:
+    data = table7_bandwidth(_config_from_args(args))
+    print(render_table(
+        ["name", "utilization_pct", "paper_pct"], data["operations"],
+        title="Table VII — bandwidth utilization per operation",
+    ))
+    print()
+    print(render_table(
+        ["name", "utilization_pct", "paper_pct"], data["benchmarks"],
+        title="per benchmark:",
+    ))
+
+
+def cmd_table8(args) -> None:
+    _print_table(table8_hfauto_resources(), "Table VIII — Auto vs HFAuto")
+
+
+def cmd_table9(args) -> None:
+    _print_table(table9_hfauto_ablation(), "Table IX — HFAuto ablation (ms)")
+
+
+def cmd_table10(args) -> None:
+    _print_table(
+        table10_edp(_config_from_args(args)),
+        "Table X — energy-delay product (J*s)",
+    )
+
+
+def cmd_table11(args) -> None:
+    _print_table(
+        table11_core_resources(_config_from_args(args)),
+        "Table XI — per-core resources",
+    )
+
+
+def cmd_table12(args) -> None:
+    _print_table(
+        table12_fpga_comparison(_config_from_args(args)),
+        "Table XII — FPGA prototype comparison",
+    )
+
+
+def cmd_fig7(args) -> None:
+    fig = fig7_operator_analysis(_config_from_args(args))
+    print(render_shares(
+        fig["series"], title="Fig. 7 — operator share per basic operation"
+    ))
+
+
+def cmd_fig8(args) -> None:
+    fig = fig8_benchmark_op_breakdown(_config_from_args(args))
+    print(render_shares(
+        fig["series"], title="Fig. 8 — operation share per benchmark"
+    ))
+    for name, ms in fig["total_ms"].items():
+        print(f"  total {name}: {ms:.1f} ms")
+
+
+def cmd_fig9(args) -> None:
+    fig = fig9_operator_breakdown(_config_from_args(args))
+    print(render_shares(
+        fig["series"], title="Fig. 9 — operator share per benchmark"
+    ))
+
+
+def cmd_fig10(args) -> None:
+    fig = fig10_k_sweep(k_values=tuple(args.radix))
+    print(render_table(
+        ["k", "lut", "ff", "dsp", "bram", "ntt_us"], fig["rows"],
+        title="Fig. 10 — NTT-fusion radix sweep",
+    ))
+    print(f"optimal k: {fig['best_k']}")
+
+
+def cmd_fig11(args) -> None:
+    fig = fig11_lane_scaling(benchmark=args.workload)
+    print(render_table(
+        ["lanes", "seconds", "edp", "bandwidth_utilization"], fig["rows"],
+        title=f"Fig. 11 — lane scaling ({args.workload})",
+    ))
+
+
+def cmd_summary(args) -> None:
+    from repro.analysis.summary import render_markdown
+
+    print(render_markdown())
+
+
+def cmd_design(args) -> None:
+    from repro.compiler.program import compile_trace
+    from repro.sim.designer import DesignExplorer
+    from repro.workloads import PAPER_BENCHMARKS
+
+    program = compile_trace(PAPER_BENCHMARKS[args.workload]())
+    explorer = DesignExplorer(program)
+    points = explorer.sweep()
+    frontier = explorer.pareto(points)
+    rows = [
+        {
+            "lanes": p.lanes,
+            "k": p.radix_log2,
+            "ms": p.seconds * 1e3,
+            "energy_J": p.energy_joules,
+            "lut": p.resources.lut,
+            "dsp": p.resources.dsp,
+            "fits": p.fits,
+            "pareto": p in frontier,
+        }
+        for p in points
+    ]
+    print(render_table(
+        ["lanes", "k", "ms", "energy_J", "lut", "dsp", "fits", "pareto"],
+        rows,
+        title=f"Design-space exploration — {args.workload} (U280 budget)",
+    ))
+    best = explorer.best(objective="seconds")
+    print(f"best (time): {best.label}")
+
+
+def cmd_fig12(args) -> None:
+    fig = fig12_energy_breakdown(_config_from_args(args))
+    print("Fig. 12 — energy consumption and breakdown")
+    for row in fig["rows"]:
+        print(f"\n{row['benchmark']}: {row['total_joules']:.2f} J")
+        for key, share in sorted(
+            row["shares"].items(), key=lambda kv: -kv[1]
+        ):
+            print(f"    {key:14s} {100 * share:5.1f}%")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table4": cmd_table4,
+    "table6": cmd_table6,
+    "table7": cmd_table7,
+    "table8": cmd_table8,
+    "table9": cmd_table9,
+    "table10": cmd_table10,
+    "table11": cmd_table11,
+    "table12": cmd_table12,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "summary": cmd_summary,
+    "design": cmd_design,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate Poseidon (HPCA 2023) tables and figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["list"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--lanes", type=int, default=512,
+        help="vector lanes (default 512)",
+    )
+    parser.add_argument(
+        "--naive-auto", action="store_true",
+        help="use the naive Auto core instead of HFAuto",
+    )
+    parser.add_argument(
+        "--radix", type=int, nargs="+", default=[2, 3, 4, 5, 6],
+        help="fusion radices for fig10",
+    )
+    parser.add_argument(
+        "--workload", default="ResNet-20",
+        choices=["LR", "LSTM", "ResNet-20", "Packed Bootstrapping"],
+        help="workload for fig11",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("available targets:")
+        for name in sorted(COMMANDS):
+            print(f"  {name}")
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

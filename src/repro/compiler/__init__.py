@@ -1,0 +1,27 @@
+"""Compiler: FHE operations -> operator task graphs.
+
+Poseidon has no instruction set for whole FHE operations; its scheduler
+decomposes each basic operation into MA/MM/NTT/Automorphism/SBT tasks
+(paper Table I) and time-multiplexes the core arrays. This subpackage
+is that decomposition in software:
+
+- :mod:`repro.compiler.ops` — the FHE-operation IR.
+- :mod:`repro.compiler.decompose` — lowering each op to tasks.
+- :mod:`repro.compiler.trace` — capturing op streams from a live
+  :class:`~repro.ckks.evaluator.CkksEvaluator` run.
+- :mod:`repro.compiler.program` — whole-program task assembly.
+"""
+
+from repro.compiler.decompose import decompose_operation
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import OperatorProgram, compile_trace
+from repro.compiler.trace import TraceRecorder
+
+__all__ = [
+    "FheOp",
+    "FheOpName",
+    "OperatorProgram",
+    "TraceRecorder",
+    "compile_trace",
+    "decompose_operation",
+]

@@ -1,0 +1,90 @@
+"""The FHE-operation intermediate representation.
+
+One :class:`FheOp` is one basic operation at the granularity the paper
+reports (HAdd, PMult, CMult, Rescale, Keyswitch, Rotation, plus the
+Automorphism index-map and bookkeeping ModDrop). Workload generators
+emit streams of these; the decomposer lowers them to operator tasks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FheOpName(enum.Enum):
+    """Basic operations of the CKKS-alike scheme (paper §II-A)."""
+
+    HADD = "HAdd"
+    PMULT = "PMult"
+    CMULT = "CMult"
+    RESCALE = "Rescale"
+    KEYSWITCH = "Keyswitch"
+    ROTATION = "Rotation"
+    HOISTED_ROTATION = "HoistedRotation"
+    AUTOMORPHISM = "Automorphism"
+    MODDROP = "ModDrop"
+    BOOTSTRAP = "Bootstrapping"
+
+    @classmethod
+    def from_label(cls, label: str) -> "FheOpName":
+        for member in cls:
+            if member.value == label:
+                return member
+        raise KeyError(f"unknown FHE operation label {label!r}")
+
+
+@dataclass(frozen=True)
+class FheOp:
+    """One basic FHE operation instance.
+
+    Attributes:
+        name: which basic operation.
+        degree: ring degree N of the operands.
+        level: ciphertext level (level+1 chain limbs active).
+        aux_limbs: auxiliary limbs involved in keyswitching.
+        meta: free-form annotations (rotation step, ct/pt kind, ...).
+    """
+
+    name: FheOpName
+    degree: int
+    level: int
+    aux_limbs: int = 1
+    meta: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.degree < 2:
+            raise ValueError(f"degree must be >= 2, got {self.degree}")
+        if self.level < 0:
+            raise ValueError(f"level must be >= 0, got {self.level}")
+        if self.aux_limbs < 0:
+            raise ValueError(f"aux_limbs must be >= 0, got {self.aux_limbs}")
+
+    @property
+    def limbs(self) -> int:
+        """Active chain limbs (level + 1)."""
+        return self.level + 1
+
+    @property
+    def extended_limbs(self) -> int:
+        """Chain + auxiliary limbs (the keyswitch working basis)."""
+        return self.limbs + self.aux_limbs
+
+    def get_meta(self, key: str, default=None):
+        """Look up an annotation by key."""
+        for k, v in self.meta:
+            if k == key:
+                return v
+        return default
+
+    @classmethod
+    def make(cls, name: FheOpName, degree: int, level: int,
+             aux_limbs: int = 1, **meta) -> "FheOp":
+        """Convenience constructor accepting keyword metadata."""
+        return cls(
+            name=name,
+            degree=degree,
+            level=level,
+            aux_limbs=aux_limbs,
+            meta=tuple(sorted(meta.items())),
+        )

@@ -1,0 +1,89 @@
+"""Whole-program assembly: op streams -> one operator task list.
+
+Operations are sequenced with barrier semantics between dependent ops
+(each op's entry tasks depend on the previous op's exit tasks), which
+matches how Poseidon's controller drains one basic operation's pipeline
+before reconfiguring the shared cores for the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.decompose import decompose_operation
+from repro.compiler.ops import FheOp
+from repro.compiler.trace import TraceRecorder
+from repro.sim.tasks import OperatorTask
+
+
+@dataclass(frozen=True)
+class OperatorProgram:
+    """A compiled task program plus per-op segmentation.
+
+    Attributes:
+        tasks: all operator tasks, topologically ordered.
+        op_boundaries: (start, end) task-index span per source op.
+        source_ops: the originating FHE operations.
+    """
+
+    tasks: tuple[OperatorTask, ...]
+    op_boundaries: tuple[tuple[int, int], ...]
+    source_ops: tuple[FheOp, ...]
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+    def tasks_for_op(self, index: int) -> tuple[OperatorTask, ...]:
+        """The task slice lowered from source op ``index``."""
+        start, end = self.op_boundaries[index]
+        return self.tasks[start:end]
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorProgram({len(self.source_ops)} ops, "
+            f"{len(self.tasks)} tasks)"
+        )
+
+
+def compile_trace(trace, *, op_parallel: bool = False) -> OperatorProgram:
+    """Compile an op stream (TraceRecorder or FheOp iterable).
+
+    Sequencing: by default the first tasks of op ``i+1`` gain a
+    dependency on the final task of op ``i`` (pipeline-drain barrier) —
+    the conservative model for a single dependent ciphertext chain.
+
+    ``op_parallel=True`` drops the inter-op barriers: each operation's
+    internal DAG is preserved but operations schedule concurrently,
+    constrained only by core-array and HBM availability. This models
+    *independent* ciphertext streams (batch serving) and is how the
+    operator-reuse benefit of time-multiplexing shows up as throughput.
+    """
+    ops = list(trace.ops if isinstance(trace, TraceRecorder) else trace)
+    all_tasks: list[OperatorTask] = []
+    boundaries: list[tuple[int, int]] = []
+    for op in ops:
+        lowered = decompose_operation(op)
+        offset = len(all_tasks)
+        barrier = () if op_parallel else ((offset - 1,) if offset else ())
+        for task in lowered:
+            shifted = task.shifted(offset)
+            if not shifted.depends_on and barrier:
+                shifted = OperatorTask(
+                    kind=shifted.kind,
+                    elements=shifted.elements,
+                    degree=shifted.degree,
+                    limbs=shifted.limbs,
+                    hbm_read_bytes=shifted.hbm_read_bytes,
+                    hbm_write_bytes=shifted.hbm_write_bytes,
+                    spad_bytes=shifted.spad_bytes,
+                    depends_on=barrier,
+                    op_label=shifted.op_label,
+                )
+            all_tasks.append(shifted)
+        boundaries.append((offset, len(all_tasks)))
+    return OperatorProgram(
+        tasks=tuple(all_tasks),
+        op_boundaries=tuple(boundaries),
+        source_ops=tuple(ops),
+    )

@@ -1,0 +1,285 @@
+"""NTT-fusion: the radix-2^k transform at the heart of Poseidon's NTT core.
+
+The paper observes (Section III-A) that the basic NTT step is a chain of
+"Twiddle, Accumulate, Modulo" (TAM) operations and that modular
+reduction dominates its cost. Fusing ``k`` consecutive radix-2 stages
+into one radix-``2^k`` butterfly lets the accumulation run at full
+width and reduce **once per output**: a radix-8 butterfly (k = 3)
+produces its 8 outputs with 8 modular reductions where three radix-2
+stages would spend 24.
+
+The price is twiddle-factor storage and extra multiply/adds (Table II),
+which is why the paper sweeps ``k`` and lands on ``k = 3`` (Fig. 10).
+
+This module provides:
+
+- :class:`FusedNtt` — a bit-exact radix-2^k negacyclic NTT/INTT that
+  matches the radix-2 kernels on every input.
+- :class:`FusionCostModel` — the operation/twiddle count model behind
+  Table II, plus structural counts measured from the actual butterfly.
+- :func:`access_offsets` — the BRAM access pattern of Table III/Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.ntt.tables import TwiddleTable, get_twiddle_table
+from repro.utils.bitops import ilog2
+
+#: Literal contents of the paper's Table II, keyed by radix exponent k:
+#: (W unfused, W fused, Mult=Add unfused, Mult=Add fused).
+PAPER_TABLE_II: dict[int, tuple[int, int, int, int]] = {
+    2: (2, 2, 8, 12),
+    3: (4, 5, 24, 56),
+    4: (8, 13, 64, 240),
+    5: (16, 34, 160, 992),
+    6: (32, 85, 384, 4160),
+}
+
+
+@dataclass(frozen=True)
+class FusionCosts:
+    """Operation counts for one radix-2^k block (2^k inputs)."""
+
+    radix_log2: int
+    twiddles_unfused: int
+    twiddles_fused: int
+    mult_unfused: int
+    mult_fused: int
+    add_unfused: int
+    add_fused: int
+    modred_unfused: int
+    modred_fused: int
+
+
+class FusionCostModel:
+    """Analytic cost model for fusing ``k`` radix-2 NTT stages.
+
+    For a block of ``B = 2^k`` points:
+
+    - Unfused: ``k`` radix-2 stages of ``B/2`` butterflies, each with
+      1 twiddle multiply, 2 add/subs and 3 modular reductions (one per
+      TAM output plus the twiddle product), i.e. ``B*k`` mults worth of
+      work and ``3 * k * B/2`` reductions (the paper quotes 24 for
+      k = 3: three phases of 8).
+    - Fused: one dense ``B x B`` evaluation — each output accumulates
+      ``B`` products and reduces once, so ``B`` reductions, ``B*(B-1)``
+      general multiplies/adds.
+
+    :attr:`paper_row` carries the literal Table II numbers so the bench
+    can print both the analytic and the published values.
+    """
+
+    def __init__(self, radix_log2: int):
+        if radix_log2 < 1:
+            raise NTTError(f"radix exponent must be >= 1, got {radix_log2}")
+        self.radix_log2 = radix_log2
+        self.block = 1 << radix_log2
+
+    @property
+    def paper_row(self) -> tuple[int, int, int, int] | None:
+        """The literal Table II row for this k (None outside 2..6)."""
+        return PAPER_TABLE_II.get(self.radix_log2)
+
+    def costs(self) -> FusionCosts:
+        """Analytic per-block operation counts.
+
+        Modular reductions follow the paper's counting: one per output
+        per phase — ``k * B`` for the unfused k-stage cascade (24 for
+        k = 3, matching §IV-B.3) versus ``B`` for the fused block.
+        """
+        k, b = self.radix_log2, self.block
+        return FusionCosts(
+            radix_log2=k,
+            twiddles_unfused=b // 2 * 1 if k == 1 else 2 ** (k - 1),
+            twiddles_fused=self.fused_twiddle_count(),
+            mult_unfused=b * k,
+            mult_fused=b * (b - 1),
+            add_unfused=b * k,
+            add_fused=b * (b - 1),
+            modred_unfused=k * b,
+            modred_fused=b,
+        )
+
+    def mults_per_output(self) -> int:
+        """Twiddle/DFT multiplies each fused output accumulates (B-1).
+
+        This is the quantity that saturates the DSP budget for large k
+        and caps the core's sustained throughput (Fig. 10's rising
+        right side).
+        """
+        return self.block - 1
+
+    def fused_twiddle_count(self) -> int:
+        """Distinct twiddle powers a fused radix-2^k butterfly touches.
+
+        The dense block uses powers ``w^(j*k mod B)`` of the B-th root
+        combined with inter-stage twiddles; counting distinct non-unit
+        exponents in the B x B evaluation matrix gives the storage the
+        hardware must hold per block.
+        """
+        b = self.block
+        exponents = {(j * m) % b for j in range(b) for m in range(b)}
+        exponents.discard(0)
+        return len(exponents)
+
+    def phases(self, n: int) -> int:
+        """Pipeline phases for an n-point transform: ceil(log2 n / k)."""
+        logn = ilog2(n)
+        k = self.radix_log2
+        return (logn + k - 1) // k
+
+    def total_modular_reductions(self, n: int) -> int:
+        """Whole-transform modular reduction count (fused)."""
+        logn = ilog2(n)
+        k = self.radix_log2
+        total = 0
+        remaining = logn
+        while remaining > 0:
+            step = min(k, remaining)
+            blocks = n // (1 << step)
+            total += blocks * (1 << step)
+            remaining -= step
+        return total
+
+    def total_modular_reductions_unfused(self, n: int) -> int:
+        """Whole-transform modular reduction count (radix-2 baseline).
+
+        One reduction per element per stage, as the paper counts TAMs.
+        """
+        logn = ilog2(n)
+        return n * logn
+
+
+def access_offsets(n: int, radix_log2: int, iteration: int) -> np.ndarray:
+    """BRAM read indices of the first fused butterfly in ``iteration``.
+
+    Reproduces Table III / Fig. 5: in iteration ``i`` (1-based) the
+    radix-2^k core reads ``2^k`` operands with stride ``2^(k*(i-1))``
+    (e.g. k = 3, N = 4096: iteration 1 reads 0..7, iteration 2 reads
+    0, 8, ..., 56, iteration 3 reads 0, 64, ..., 448).
+    """
+    if iteration < 1:
+        raise NTTError(f"iteration is 1-based, got {iteration}")
+    block = 1 << radix_log2
+    stride = 1 << (radix_log2 * (iteration - 1))
+    if stride * block > n:
+        raise NTTError(
+            f"iteration {iteration} exceeds the transform depth for n={n}"
+        )
+    return np.arange(block, dtype=np.int64) * stride
+
+
+def bram_bank_of(index: int, iteration: int, radix_log2: int) -> int:
+    """Bank assignment that makes every fused read conflict-free.
+
+    The 2^k operands of one butterfly must land in distinct BRAMs
+    (Fig. 5's diagonal layout). Assigning element ``i`` to bank
+    ``(sum of its base-2^k digits) mod 2^k`` guarantees the operands of
+    any butterfly in any iteration differ in exactly one digit and thus
+    map to 2^k distinct banks.
+    """
+    block = 1 << radix_log2
+    acc = 0
+    v = index
+    while v:
+        acc += v % block
+        v //= block
+    return acc % block
+
+
+class FusedNtt:
+    """Bit-exact negacyclic radix-2^k NTT/INTT.
+
+    Functionally identical to :func:`repro.ntt.radix2.ntt_radix2` /
+    ``intt_radix2`` — the tests assert equality on random inputs — but
+    organized as ``ceil(log2(n)/k)`` phases of dense radix-2^k blocks,
+    the structure the hardware NTT core pipelines.
+
+    The negacyclic twist uses the classic psi pre/post-scaling so the
+    core cyclic transform stays a textbook Cooley-Tukey decomposition.
+    """
+
+    def __init__(self, q: int, n: int, radix_log2: int = 3):
+        if radix_log2 < 1:
+            raise NTTError(f"radix exponent must be >= 1, got {radix_log2}")
+        self.table: TwiddleTable = get_twiddle_table(q, n)
+        self.q = q
+        self.n = n
+        self.radix_log2 = radix_log2
+        self.cost_model = FusionCostModel(radix_log2)
+        # uint64 accumulation of B products of (<2^30)^2 values is safe
+        # while B * q^2 < 2^64; otherwise fall back to object ints.
+        self._wide_safe = (1 << radix_log2) * q * q < (1 << 64)
+
+    # ------------------------------------------------------------------
+    def _cyclic(self, values: np.ndarray, root: int) -> np.ndarray:
+        """Recursive mixed-radix cyclic NTT with fused dense blocks."""
+        n = values.shape[0]
+        if n == 1:
+            return values.copy()
+        b = min(1 << self.radix_log2, n)
+        m = n // b
+        q = self.q
+        sub_root = pow(root, b, q)
+        subs = [self._cyclic(values[j2::b], sub_root) for j2 in range(b)]
+
+        # Dense combine: X[k1 + m*k2] = sum_{j2} w^{j2*k1} (w^m)^{j2*k2} Y_j2[k1]
+        # Each output accumulates b products and reduces once — the
+        # "fused TAM" with b modular reductions per block.
+        out = np.empty(n, dtype=np.uint64)
+        w_m = pow(root, m, q)  # primitive b-th root
+        if self._wide_safe:
+            y = np.stack(subs)  # (b, m)
+            for k2 in range(b):
+                acc = np.zeros(m, dtype=np.uint64)
+                for j2 in range(b):
+                    # twiddle w^{j2*k1} folded with the DFT factor.
+                    dft = pow(w_m, j2 * k2, q)
+                    tw = np.array(
+                        [pow(root, j2 * k1, q) for k1 in range(m)],
+                        dtype=np.uint64,
+                    )
+                    coef = (tw * np.uint64(dft)) % np.uint64(q)
+                    # Deferred reduction: accumulate full-width products
+                    # (b * q^2 < 2^64 is guaranteed by _wide_safe) and
+                    # reduce once per output — the fused TAM.
+                    acc += y[j2] * coef
+                out[k2 * m:(k2 + 1) * m] = acc % np.uint64(q)
+        else:
+            y = [row.astype(object) for row in subs]
+            for k2 in range(b):
+                acc = [0] * m
+                for j2 in range(b):
+                    dft = pow(w_m, j2 * k2, q)
+                    for k1 in range(m):
+                        coef = pow(root, j2 * k1, q) * dft % q
+                        acc[k1] += int(y[j2][k1]) * coef
+                out[k2 * m:(k2 + 1) * m] = np.array(
+                    [v % q for v in acc], dtype=np.uint64
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT (natural order in and out)."""
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.n,):
+            raise NTTError(f"expected shape ({self.n},), got {values.shape}")
+        q = np.uint64(self.q)
+        twisted = (values * self.table.psi_powers) % q
+        return self._cyclic(twisted, self.table.omega)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT (natural order in and out)."""
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.n,):
+            raise NTTError(f"expected shape ({self.n},), got {values.shape}")
+        q = np.uint64(self.q)
+        cyc = self._cyclic(values, self.table.inv_omega)
+        scaled = (cyc * np.uint64(self.table.inv_n)) % q
+        return (scaled * self.table.ipsi_powers) % q

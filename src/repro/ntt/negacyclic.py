@@ -1,0 +1,93 @@
+"""Negacyclic transform façade used by the CKKS layer.
+
+The ring is ``R_q = Z_q[x]/(x^n + 1)``, so polynomial products are
+*negacyclic* convolutions. :class:`NegacyclicTransformer` bundles the
+forward/inverse kernels (radix-2 by default, radix-2^k fused when the
+caller opts in) behind one object per (q, n) pair, and the module-level
+functions transform whole RNS matrices limb by limb — which is exactly
+how the 64 parallel NTT cores in Poseidon chew through limbs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.ntt.fusion import FusedNtt
+from repro.ntt.radix2 import intt_radix2, ntt_radix2
+from repro.ntt.tables import get_twiddle_table
+from repro.rns.poly import Domain, RnsPolynomial
+
+
+class NegacyclicTransformer:
+    """Forward/inverse negacyclic NTT for one modulus and degree.
+
+    Args:
+        q: NTT-friendly limb prime (q ≡ 1 mod 2n).
+        n: ring degree.
+        radix_log2: 1 selects the iterative radix-2 kernels; >= 2
+            selects the fused radix-2^k kernel (bit-identical results).
+    """
+
+    def __init__(self, q: int, n: int, *, radix_log2: int = 1):
+        self.q = q
+        self.n = n
+        self.radix_log2 = radix_log2
+        self.table = get_twiddle_table(q, n)
+        self._fused = FusedNtt(q, n, radix_log2) if radix_log2 >= 2 else None
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Coefficient -> point-value (NTT) representation."""
+        if self._fused is not None:
+            return self._fused.forward(values)
+        return ntt_radix2(values, self.table)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Point-value (NTT) -> coefficient representation."""
+        if self._fused is not None:
+            return self._fused.inverse(values)
+        return intt_radix2(values, self.table)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full negacyclic product of two coefficient vectors."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        prod = (fa * fb) % np.uint64(self.q)
+        return self.inverse(prod)
+
+
+@lru_cache(maxsize=1024)
+def get_transformer(q: int, n: int, radix_log2: int = 1) -> NegacyclicTransformer:
+    """Cached transformer per (q, n, radix)."""
+    return NegacyclicTransformer(q, n, radix_log2=radix_log2)
+
+
+def ntt_negacyclic(poly: RnsPolynomial, *, radix_log2: int = 1) -> RnsPolynomial:
+    """Transform an RNS polynomial to the NTT domain (all limbs)."""
+    if poly.domain is not Domain.COEFFICIENT:
+        raise NTTError("polynomial is already in the NTT domain")
+    rows = [
+        get_transformer(q, poly.degree, radix_log2).forward(poly.data[i])
+        for i, q in enumerate(poly.context.moduli)
+    ]
+    return RnsPolynomial(np.stack(rows), poly.context, Domain.NTT)
+
+
+def intt_negacyclic(poly: RnsPolynomial, *, radix_log2: int = 1) -> RnsPolynomial:
+    """Transform an RNS polynomial back to the coefficient domain."""
+    if poly.domain is not Domain.NTT:
+        raise NTTError("polynomial is already in the coefficient domain")
+    rows = [
+        get_transformer(q, poly.degree, radix_log2).inverse(poly.data[i])
+        for i, q in enumerate(poly.context.moduli)
+    ]
+    return RnsPolynomial(np.stack(rows), poly.context, Domain.COEFFICIENT)
+
+
+def poly_multiply(a: RnsPolynomial, b: RnsPolynomial) -> RnsPolynomial:
+    """Negacyclic product of two coefficient-domain RNS polynomials."""
+    fa = ntt_negacyclic(a)
+    fb = ntt_negacyclic(b)
+    return intt_negacyclic(fa.hadamard(fb))

@@ -1,0 +1,146 @@
+"""Iterative radix-2 NTT/INTT kernels (the unfused baseline).
+
+Forward: Cooley-Tukey decimation-in-time with the psi-merged negacyclic
+twist, natural-order input -> natural-order output.
+Inverse: Gentleman-Sande decimation-in-frequency, the standard partner.
+
+Each butterfly is one "TAM" in the paper's terminology — Twiddle
+(multiply by w), Accumulate (add/sub) and Modulo — so a full radix-2
+transform of length n executes ``(n/2) * log2(n)`` TAMs. NTT-fusion
+(:mod:`repro.ntt.fusion`) reduces the modular-reduction count by fusing
+k consecutive radix-2 stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.ntt.tables import TwiddleTable, get_twiddle_table
+from repro.utils.bitops import ilog2
+
+
+def _check_input(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
+    values = np.asarray(values, dtype=np.uint64)
+    if values.shape != (table.n,):
+        raise NTTError(
+            f"expected shape ({table.n},), got {values.shape}"
+        )
+    return values
+
+
+def ntt_radix2(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
+    """Forward negacyclic NTT (Cooley-Tukey DIT, psi powers merged).
+
+    Uses the Longa-Naehrig formulation: stage ``s`` applies twiddles
+    ``psi^(bitrev)`` so the x^n+1 twist needs no separate pre-scaling.
+    Output is in natural order.
+    """
+    a = _check_input(values, table).copy()
+    n, q = table.n, np.uint64(table.q)
+    psi_br = table.psi_powers_bitrev
+
+    t = n
+    m = 1
+    while m < n:
+        t >>= 1
+        for i in range(m):
+            j1 = 2 * i * t
+            j2 = j1 + t
+            w = psi_br[m + i]
+            lo = a[j1:j2].copy()
+            hi = (a[j2:j2 + t] * w) % q
+            a[j1:j2] = (lo + hi) % q
+            a[j2:j2 + t] = (lo + q - hi) % q
+        m <<= 1
+    # The merged CT network leaves results in bit-reversed order;
+    # normalize to natural order so all kernels share one convention.
+    from repro.utils.bitops import bit_reverse_permutation
+
+    return a[bit_reverse_permutation(n)]
+
+
+def intt_radix2(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
+    """Inverse negacyclic NTT (Gentleman-Sande DIF) with 1/n scaling.
+
+    Exact inverse of :func:`ntt_radix2`: natural order in and out.
+    """
+    a = _check_input(values, table).copy()
+    n, q = table.n, np.uint64(table.q)
+    ipsi_br = table.ipsi_powers_bitrev
+
+    # The GS network consumes bit-reversed input (the CT partner's raw
+    # output); re-apply the permutation our forward kernel normalized.
+    from repro.utils.bitops import bit_reverse_permutation
+
+    a = a[bit_reverse_permutation(n)]
+    t = 1
+    m = n
+    while m > 1:
+        j1 = 0
+        h = m >> 1
+        for i in range(h):
+            j2 = j1 + t
+            w = ipsi_br[h + i]
+            lo = a[j1:j2].copy()
+            hi = a[j2:j2 + t]
+            a[j1:j2] = (lo + hi) % q
+            a[j2:j2 + t] = ((lo + q - hi) * w) % q
+            j1 += 2 * t
+        t <<= 1
+        m = h
+    inv_n = np.uint64(table.inv_n)
+    return (a * inv_n) % q
+
+
+def ntt_radix2_cyclic(values: np.ndarray, q: int, omega: int) -> np.ndarray:
+    """Plain cyclic radix-2 NTT with explicit root (for Table III demos).
+
+    Natural-order input, uses an on-the-fly omega power table. Slower
+    than :func:`ntt_radix2`; exists for pedagogy and the access-pattern
+    experiments where the cyclic transform is the textbook object.
+    """
+    a = np.asarray(values, dtype=np.uint64).copy()
+    n = a.shape[0]
+    logn = ilog2(n)
+    if pow(omega, n, q) != 1 or pow(omega, n // 2, q) == 1:
+        raise NTTError(f"omega={omega} is not a primitive {n}-th root mod {q}")
+    # Bit-reverse input for in-place DIT.
+    from repro.utils.bitops import bit_reverse_permutation
+
+    a = a[bit_reverse_permutation(n)]
+    q64 = np.uint64(q)
+    length = 2
+    while length <= n:
+        w_len = pow(omega, n // length, q)
+        half = length // 2
+        w_powers = np.empty(half, dtype=np.uint64)
+        acc = 1
+        for i in range(half):
+            w_powers[i] = acc
+            acc = acc * w_len % q
+        for start in range(0, n, length):
+            lo = a[start:start + half]
+            hi = (a[start + half:start + length] * w_powers) % q64
+            a[start:start + half] = (lo + hi) % q64
+            a[start + half:start + length] = (lo + q64 - hi) % q64
+        length <<= 1
+    return a
+
+
+def ntt_poly(data: np.ndarray, moduli, degree: int) -> np.ndarray:
+    """Forward-transform every limb row of an (L, N) residue matrix."""
+    rows = [
+        ntt_radix2(data[i], get_twiddle_table(q, degree))
+        for i, q in enumerate(moduli)
+    ]
+    return np.stack(rows)
+
+
+def intt_poly(data: np.ndarray, moduli, degree: int) -> np.ndarray:
+    """Inverse-transform every limb row of an (L, N) residue matrix."""
+    rows = [
+        intt_radix2(data[i], get_twiddle_table(q, degree))
+        for i, q in enumerate(moduli)
+    ]
+    return np.stack(rows)

@@ -1,0 +1,45 @@
+"""Quadratic-time reference NTT used as the correctness oracle.
+
+Evaluates the polynomial at every power of the root directly from the
+definition. Only used in tests: the radix-2 and fused kernels must
+agree with this on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.utils.bitops import is_power_of_two
+
+
+def ntt_reference(coeffs: np.ndarray, root: int, q: int) -> np.ndarray:
+    """Forward cyclic NTT by direct evaluation: ``X_k = sum_j x_j w^(jk)``."""
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    n = coeffs.shape[0]
+    if not is_power_of_two(n):
+        raise NTTError(f"length must be a power of two, got {n}")
+    if pow(int(root), n, q) != 1:
+        raise NTTError(f"root {root} is not an n-th root of unity mod {q}")
+    out = np.zeros(n, dtype=np.uint64)
+    for k in range(n):
+        acc = 0
+        wk = pow(int(root), k, q)
+        w = 1
+        for j in range(n):
+            acc = (acc + int(coeffs[j]) * w) % q
+            w = w * wk % q
+        out[k] = acc
+    return out
+
+
+def intt_reference(values: np.ndarray, root: int, q: int) -> np.ndarray:
+    """Inverse cyclic NTT by direct evaluation with the 1/n scaling."""
+    values = np.asarray(values, dtype=np.uint64)
+    n = values.shape[0]
+    inv_root = pow(int(root), q - 2, q)
+    unscaled = ntt_reference(values, inv_root, q)
+    inv_n = pow(n, q - 2, q)
+    return np.array(
+        [int(v) * inv_n % q for v in unscaled], dtype=np.uint64
+    )

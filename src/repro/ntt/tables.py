@@ -1,0 +1,72 @@
+"""Twiddle-factor tables, cached per (modulus, degree).
+
+On the FPGA the twiddle factors live in BRAM and their count is the
+resource cost NTT-fusion trades against (Table II). Software-side the
+tables are precomputed once per (q, n) pair and shared by every kernel.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import NTTError
+from repro.utils.bitops import bit_reverse_permutation, ilog2, is_power_of_two
+from repro.utils.primes import find_primitive_root
+
+
+class TwiddleTable:
+    """Precomputed roots for the negacyclic NTT over ``Z_q[x]/(x^n+1)``.
+
+    Attributes:
+        q: limb modulus, with ``q ≡ 1 (mod 2n)``.
+        n: ring degree (power of two).
+        psi: a primitive ``2n``-th root of unity mod ``q``.
+        omega: ``psi^2``, a primitive ``n``-th root (cyclic NTT root).
+        psi_powers_bitrev: ``psi^i`` in bit-reversed index order — the
+            layout the merged negacyclic butterfly consumes.
+        ipsi_powers_bitrev: same for ``psi^{-1}``.
+    """
+
+    def __init__(self, q: int, n: int):
+        if not is_power_of_two(n):
+            raise NTTError(f"degree must be a power of two, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise NTTError(
+                f"q={q} is not NTT-friendly for n={n} (needs q ≡ 1 mod 2n)"
+            )
+        self.q = q
+        self.n = n
+        self.logn = ilog2(n)
+        self.psi = find_primitive_root(q, 2 * n)
+        self.omega = pow(self.psi, 2, q)
+        self.inv_psi = pow(self.psi, q - 2, q)
+        self.inv_omega = pow(self.omega, q - 2, q)
+        self.inv_n = pow(n, q - 2, q)
+
+        psi_powers = self._power_table(self.psi, n)
+        ipsi_powers = self._power_table(self.inv_psi, n)
+        rev = bit_reverse_permutation(n)
+        self.psi_powers = psi_powers
+        self.ipsi_powers = ipsi_powers
+        self.psi_powers_bitrev = psi_powers[rev]
+        self.ipsi_powers_bitrev = ipsi_powers[rev]
+        self.omega_powers = self._power_table(self.omega, n)
+
+    def _power_table(self, base: int, count: int) -> np.ndarray:
+        table = np.empty(count, dtype=np.uint64)
+        acc = 1
+        for i in range(count):
+            table[i] = acc
+            acc = acc * base % self.q
+        return table
+
+    def __repr__(self) -> str:
+        return f"TwiddleTable(q={self.q}, n={self.n})"
+
+
+@lru_cache(maxsize=512)
+def get_twiddle_table(q: int, n: int) -> TwiddleTable:
+    """Process-wide cache of :class:`TwiddleTable` objects."""
+    return TwiddleTable(q, n)

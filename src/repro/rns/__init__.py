@@ -1,0 +1,29 @@
+"""Residue Number System (RNS) arithmetic substrate.
+
+Poseidon keeps every polynomial in RNS form: a big coefficient modulus
+``Q = q_0 * q_1 * ... * q_{L-1}`` is split into 30-bit limbs so all
+hardware arithmetic is 32-bit (paper Section IV-A). This subpackage
+implements the exact arithmetic layer:
+
+- :mod:`repro.rns.modular` — vectorized modular add/sub/mul (MA/MM).
+- :mod:`repro.rns.barrett` — Barrett reduction, the SBT operator.
+- :mod:`repro.rns.context` — an immutable RNS basis with precomputed
+  CRT constants.
+- :mod:`repro.rns.poly` — RNS polynomials (L x N residue matrices).
+- :mod:`repro.rns.basis_convert` — RNSconv / ModUp / ModDown (Eq. 1-3).
+"""
+
+from repro.rns.barrett import BarrettReducer
+from repro.rns.context import RnsContext
+from repro.rns.modular import mod_add, mod_mul, mod_neg, mod_sub
+from repro.rns.poly import RnsPolynomial
+
+__all__ = [
+    "BarrettReducer",
+    "RnsContext",
+    "RnsPolynomial",
+    "mod_add",
+    "mod_mul",
+    "mod_neg",
+    "mod_sub",
+]

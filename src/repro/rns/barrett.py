@@ -1,0 +1,111 @@
+"""Barrett reduction — the Shared Barrett Reduction (SBT) operator.
+
+Division on FPGA is expensive, so Poseidon replaces the ``x mod q``
+division with Barrett's multiply-and-shift (paper Fig. 3, Eq. 6): a
+precomputed reciprocal ``u = floor(4^k / q)`` turns the quotient
+``floor(x / q)`` into two multiplications and shifts, followed by at
+most two correction subtractions. The same SBT core is shared by the
+NTT and MM cores in hardware; here the class is similarly shared by
+the NTT and modular-multiplication code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RNSError
+from repro.rns.modular import check_modulus
+
+
+class BarrettReducer:
+    """Bit-exact Barrett reduction for a fixed modulus ``q < 2^31``.
+
+    The reducer accepts any ``x < q^2`` (i.e. a product of two reduced
+    residues) and returns ``x mod q`` using only multiplications,
+    shifts and conditional subtractions — the exact dataflow of the
+    SBT hardware core.
+
+    Attributes:
+        q: the modulus.
+        k: bit width of ``q`` (``2^(k-1) <= q < 2^k``).
+        u: the Barrett reciprocal ``floor(2^(2k) / q)``.
+    """
+
+    def __init__(self, q: int):
+        self.q = check_modulus(q)
+        self.k = q.bit_length()
+        self.u = (1 << (2 * self.k)) // q
+        self._q64 = np.uint64(self.q)
+        self._u64 = np.uint64(self.u)
+        self._shift_lo = np.uint64(self.k - 1)
+        self._shift_hi = np.uint64(self.k + 1)
+
+    def reduce_scalar(self, x: int) -> int:
+        """Reduce a single Python int ``x`` (0 <= x < q^2) mod q."""
+        if x < 0 or x >= self.q * self.q:
+            raise RNSError(
+                f"Barrett input must be in [0, q^2) for q={self.q}, got {x}"
+            )
+        q1 = x >> (self.k - 1)
+        q2 = q1 * self.u
+        q3 = q2 >> (self.k + 1)
+        r = x - q3 * self.q
+        while r >= self.q:  # at most 2 iterations by Barrett's bound
+            r -= self.q
+        return r
+
+    def reduce(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized reduction of products of two reduced residues.
+
+        ``x`` must be ``uint64`` products ``a*b`` with ``a, b < q``.
+        For ``q < 2^31`` every intermediate fits in ``uint64`` except
+        ``q1 * u``; we keep the modulus at 30 bits in practice, where
+        ``q1 < 2^(2k - k + 1) = 2^(k+1)`` and ``u < 2^(k+1)`` so the
+        product is below ``2^(2k+2) <= 2^64`` for ``k <= 31``.
+        """
+        x = np.asarray(x, dtype=np.uint64)
+        q1 = x >> self._shift_lo
+        q3 = (q1 * self._u64) >> self._shift_hi
+        r = x - q3 * self._q64
+        r = np.where(r >= self._q64, r - self._q64, r)
+        r = np.where(r >= self._q64, r - self._q64, r)
+        return r
+
+    def mul_mod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(a * b) mod q`` through the Barrett datapath."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        return self.reduce(a * b)
+
+    def __repr__(self) -> str:
+        return f"BarrettReducer(q={self.q}, k={self.k})"
+
+
+class SharedBarrettBank:
+    """A bank of Barrett reducers keyed by modulus — the 'shared' in SBT.
+
+    In Poseidon one SBT core array serves both the NTT and MM cores.
+    Software-side, this cache guarantees each modulus precomputes its
+    reciprocal once and every operator reuses the same reducer object.
+    """
+
+    def __init__(self):
+        self._bank: dict[int, BarrettReducer] = {}
+
+    def get(self, q: int) -> BarrettReducer:
+        """Return (creating if needed) the reducer for modulus ``q``."""
+        reducer = self._bank.get(q)
+        if reducer is None:
+            reducer = BarrettReducer(q)
+            self._bank[q] = reducer
+        return reducer
+
+    def __len__(self) -> int:
+        return len(self._bank)
+
+    def __contains__(self, q: int) -> bool:
+        return q in self._bank
+
+
+#: Process-wide bank mirroring the single shared SBT array on the FPGA.
+GLOBAL_SBT_BANK = SharedBarrettBank()

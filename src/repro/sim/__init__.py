@@ -1,0 +1,31 @@
+"""Cycle-level model of the Poseidon accelerator.
+
+The simulator consumes operator-level task graphs (produced by
+:mod:`repro.compiler` from FHE-operation traces) and replays them on a
+model of the paper's hardware: five operator core arrays (MA, MM, NTT,
+Automorphism, SBT) behind an 8.6 MB scratchpad and HBM2.
+
+Submodules:
+
+- :mod:`repro.sim.config` — hardware configuration (lanes, clocks,
+  HBM/scratchpad, NTT radix, HFAuto toggle).
+- :mod:`repro.sim.tasks` — operator task records.
+- :mod:`repro.sim.cores` — per-core cycle models.
+- :mod:`repro.sim.memory` — HBM/scratchpad traffic and timing.
+- :mod:`repro.sim.engine` — the discrete-event scheduler.
+- :mod:`repro.sim.energy` — energy and EDP models.
+- :mod:`repro.sim.resources` — FPGA resource (LUT/FF/DSP/BRAM) model.
+- :mod:`repro.sim.stats` — busy-time breakdowns and bandwidth stats.
+"""
+
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator, SimulationResult
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+__all__ = [
+    "HardwareConfig",
+    "OperatorKind",
+    "OperatorTask",
+    "PoseidonSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,105 @@
+"""Hardware configuration of the modelled Poseidon accelerator.
+
+Defaults mirror the paper's prototype on the Xilinx Alveo U280:
+512 vector lanes, 64 radix-8 NTT cores, an 8.6 MB scratchpad at
+3.4 TB/s, two HBM2 stacks at 460 GB/s, 300 MHz core clock, 32-bit
+limbs. Every field is sweepable — Fig. 10 sweeps ``ntt_radix_log2``,
+Fig. 11 sweeps ``lanes``, Table IX toggles ``use_hfauto``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+from repro.utils.bitops import is_power_of_two
+
+#: Bytes per RNS limb element (the paper's 32-bit datapath).
+LIMB_BYTES = 4
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """Immutable accelerator configuration.
+
+    Attributes:
+        lanes: vector-lane width C (elements processed per cycle).
+        frequency_hz: core clock.
+        hbm_bandwidth: off-chip HBM bandwidth in bytes/second.
+        hbm_channels: HBM pseudo-channel count (access granularity).
+        scratchpad_bytes: on-chip scratchpad capacity.
+        scratchpad_bandwidth: on-chip bandwidth in bytes/second.
+        ntt_radix_log2: NTT-fusion parameter k (paper default 3).
+        ntt_cores: parallel NTT butterfly cores (64 x 8-input = 512).
+        use_hfauto: HFAuto (True) vs naive one-element Auto (False).
+        pcie_bandwidth: host link bandwidth (staging only).
+    """
+
+    lanes: int = 512
+    frequency_hz: float = 300e6
+    hbm_bandwidth: float = 460e9
+    hbm_channels: int = 32
+    scratchpad_bytes: int = int(8.6 * 2**20)
+    scratchpad_bandwidth: float = 3.4e12
+    ntt_radix_log2: int = 3
+    ntt_cores: int = 64
+    use_hfauto: bool = True
+    pcie_bandwidth: float = 16e9
+
+    def __post_init__(self):
+        if not is_power_of_two(self.lanes):
+            raise ParameterError(f"lanes must be a power of two, got {self.lanes}")
+        if self.frequency_hz <= 0:
+            raise ParameterError("frequency must be positive")
+        if self.ntt_radix_log2 < 1:
+            raise ParameterError(
+                f"NTT radix exponent must be >= 1, got {self.ntt_radix_log2}"
+            )
+        if self.hbm_bandwidth <= 0 or self.scratchpad_bandwidth <= 0:
+            raise ParameterError("bandwidths must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one core clock cycle."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        """HBM bytes deliverable per core cycle."""
+        return self.hbm_bandwidth / self.frequency_hz
+
+    @property
+    def scratchpad_bytes_per_cycle(self) -> float:
+        """Scratchpad bytes deliverable per core cycle."""
+        return self.scratchpad_bandwidth / self.frequency_hz
+
+    def with_lanes(self, lanes: int) -> "HardwareConfig":
+        """Copy with a different lane count (Fig. 11 sweeps).
+
+        NTT cores scale with lanes (each 2^k-input core consumes 2^k
+        lanes' worth of operands per cycle), and the scratchpad is
+        sized proportionally as in the paper (8.6 MB at 512 lanes).
+        """
+        ratio = lanes / 512
+        return replace(
+            self,
+            lanes=lanes,
+            ntt_cores=max(1, int(self.ntt_cores * ratio)),
+            scratchpad_bytes=max(1, int(int(8.6 * 2**20) * ratio)),
+        )
+
+    def with_radix(self, radix_log2: int) -> "HardwareConfig":
+        """Copy with a different NTT-fusion k (Fig. 10 sweeps)."""
+        return replace(self, ntt_radix_log2=radix_log2)
+
+    def with_hfauto(self, enabled: bool) -> "HardwareConfig":
+        """Copy toggling HFAuto (Table IX ablation)."""
+        return replace(self, use_hfauto=enabled)
+
+
+#: The paper's default Poseidon configuration.
+POSEIDON_U280 = HardwareConfig()
+
+#: The ablation configuration with the naive automorphism core.
+POSEIDON_U280_NAIVE_AUTO = HardwareConfig(use_hfauto=False)

@@ -1,0 +1,131 @@
+"""Per-core cycle models for the five operator arrays.
+
+Each model answers: how many core cycles does one task take on this
+array under the given :class:`~repro.sim.config.HardwareConfig`? The
+formulas follow the paper's architecture:
+
+- **MA / MM / SBT** — fully pipelined element-wise arrays, ``lanes``
+  elements per cycle plus a fixed pipeline-fill latency (MM/SBT are
+  deeper than MA because of the Barrett datapath).
+- **NTT / INTT** — ``ceil(log2(N)/k)`` fused phases (Table III); each
+  phase streams the N-point limb through the 2^k-input cores at
+  ``lanes`` elements per cycle, with a per-phase reconfiguration
+  bubble that grows with the fused twiddle count (the Table II
+  overhead that makes k > 3 lose, Fig. 10).
+- **Automorphism** — HFAuto's four stages move ``lanes`` elements per
+  cycle (:meth:`HFAutoPlan.total_cycles`); the naive Auto ablation
+  resolves one index map per cycle (Table VIII: N cycles per limb).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.ntt.fusion import FusionCostModel
+from repro.sim.config import HardwareConfig
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+#: Pipeline-fill depths (cycles) per core array.
+PIPELINE_DEPTH = {
+    "MA": 4,
+    "MM": 12,      # multiplier + Barrett reduce
+    "SBT": 8,      # shared Barrett reduction datapath
+    "NTT": 16,     # butterfly network + reduce
+    "Automorphism": 6,
+}
+
+#: Per-phase reconfiguration bubble of the NTT core, in cycles, per
+#: fused twiddle factor that must be staged into BRAM.
+NTT_TWIDDLE_STAGE_CYCLES = 2.0
+
+#: DSP multiplies each NTT lane can issue per cycle. A fused radix-2^k
+#: output needs B-1 = 2^k - 1 accumulated multiplies; once that exceeds
+#: the budget the core's sustained rate drops below one element per
+#: lane per cycle — the effect that makes k > 3 lose in Fig. 10.
+NTT_MULTS_PER_LANE = 8
+
+
+@dataclass(frozen=True)
+class CoreTiming:
+    """Cycle cost of one task on its core array."""
+
+    cycles: float
+    core: str
+
+
+class CoreModel:
+    """Cycle model bound to one hardware configuration."""
+
+    def __init__(self, config: HardwareConfig):
+        self.config = config
+        self._fusion = FusionCostModel(config.ntt_radix_log2)
+
+    # ------------------------------------------------------------------
+    def elementwise_cycles(self, task: OperatorTask, depth: int) -> float:
+        """Streaming cycles for an element-wise array (MA/MM/SBT)."""
+        return task.elements / self.config.lanes + depth
+
+    def ntt_cycles(self, task: OperatorTask) -> float:
+        """Fused-NTT cycles: phases x (stream + twiddle staging).
+
+        One limb of degree N costs ``phases * N / lanes`` streaming
+        cycles; limbs stream back-to-back through the pipelined cores.
+        The per-phase bubble charges the Table II twiddle overhead.
+        """
+        n = task.degree
+        phases = self._fusion.phases(n)
+        limb_count = task.elements / n
+        # Throughput cap: each output accumulates B-1 multiplies; the
+        # lane's DSP budget sustains NTT_MULTS_PER_LANE per cycle.
+        rate_penalty = max(
+            1.0, self._fusion.mults_per_output() / NTT_MULTS_PER_LANE
+        )
+        stream = (
+            phases * (n / self.config.lanes) * limb_count * rate_penalty
+        )
+        bubble = (
+            phases
+            * NTT_TWIDDLE_STAGE_CYCLES
+            * self._fusion.fused_twiddle_count()
+        )
+        return stream + bubble + PIPELINE_DEPTH["NTT"]
+
+    def automorphism_cycles(self, task: OperatorTask) -> float:
+        """HFAuto (4 sub-vector stages) or naive Auto (1 element/cycle)."""
+        n = task.degree
+        limb_count = task.elements / n
+        if not self.config.use_hfauto:
+            return n * limb_count + PIPELINE_DEPTH["Automorphism"]
+        c = min(self.config.lanes, n)
+        r = n // c
+        per_limb = 3 * r + c  # row map, fifo shift, dim switch, col map
+        return per_limb * limb_count + PIPELINE_DEPTH["Automorphism"]
+
+    # ------------------------------------------------------------------
+    def task_cycles(self, task: OperatorTask) -> CoreTiming:
+        """Dispatch to the right core model."""
+        kind = task.kind
+        if kind is OperatorKind.MA:
+            return CoreTiming(
+                self.elementwise_cycles(task, PIPELINE_DEPTH["MA"]), "MA"
+            )
+        if kind is OperatorKind.MM:
+            return CoreTiming(
+                self.elementwise_cycles(task, PIPELINE_DEPTH["MM"]), "MM"
+            )
+        if kind is OperatorKind.SBT:
+            return CoreTiming(
+                self.elementwise_cycles(task, PIPELINE_DEPTH["SBT"]), "MM"
+            )
+        if kind in (OperatorKind.NTT, OperatorKind.INTT):
+            return CoreTiming(self.ntt_cycles(task), "NTT")
+        if kind is OperatorKind.AUTO:
+            return CoreTiming(
+                self.automorphism_cycles(task), "Automorphism"
+            )
+        raise SimulationError(f"no cycle model for task kind {kind}")
+
+    def task_seconds(self, task: OperatorTask) -> float:
+        """Wall-clock compute time of one task."""
+        return self.task_cycles(task).cycles * self.config.cycle_seconds

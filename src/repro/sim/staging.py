@@ -1,0 +1,99 @@
+"""Host staging model: PCIe transfers around an accelerator run.
+
+The paper's data flow (§IV-A) stages inputs host->HBM over PCIe before
+compute (Stage 1) and returns only results afterwards. For the long-
+running benchmarks this cost is negligible — which this model makes
+checkable rather than assumed — while for small one-shot operations it
+dominates, the classic offload break-even analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ckks.params import CkksParameters
+from repro.sim.config import HardwareConfig, LIMB_BYTES
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class StagingPlan:
+    """Bytes moved over PCIe before/after a run."""
+
+    upload_bytes: int
+    download_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.upload_bytes + self.download_bytes
+
+
+@dataclass(frozen=True)
+class FullSystemLatency:
+    """Compute + staging breakdown of one offloaded run."""
+
+    compute_seconds: float
+    upload_seconds: float
+    download_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.upload_seconds + (
+            self.download_seconds
+        )
+
+    @property
+    def staging_fraction(self) -> float:
+        total = self.total_seconds
+        if total <= 0:
+            return 0.0
+        return (self.upload_seconds + self.download_seconds) / total
+
+
+def ciphertext_staging(
+    params: CkksParameters,
+    *,
+    input_ciphertexts: int,
+    output_ciphertexts: int,
+    key_bytes: int = 0,
+) -> StagingPlan:
+    """Staging plan for a workload moving whole ciphertexts.
+
+    Keys are uploaded once (they persist in HBM across runs, so
+    amortized callers pass 0).
+    """
+    ct_bytes = 2 * params.degree * len(params.chain_moduli) * LIMB_BYTES
+    return StagingPlan(
+        upload_bytes=input_ciphertexts * ct_bytes + key_bytes,
+        download_bytes=output_ciphertexts * ct_bytes,
+    )
+
+
+def full_system_latency(
+    result: SimulationResult,
+    plan: StagingPlan,
+    config: HardwareConfig,
+) -> FullSystemLatency:
+    """Combine a simulated run with its PCIe staging."""
+    return FullSystemLatency(
+        compute_seconds=result.total_seconds,
+        upload_seconds=plan.upload_bytes / config.pcie_bandwidth,
+        download_seconds=plan.download_bytes / config.pcie_bandwidth,
+    )
+
+
+def offload_break_even_ops(
+    per_op_seconds: float,
+    plan: StagingPlan,
+    config: HardwareConfig,
+) -> int:
+    """Operations needed before offloading beats the staging cost.
+
+    Returns the smallest op count for which staging is under half the
+    total time — the practical "is the accelerator worth invoking"
+    threshold for a given payload.
+    """
+    staging = plan.total_bytes / config.pcie_bandwidth
+    if per_op_seconds <= 0:
+        raise ValueError("per-op time must be positive")
+    return max(1, int(staging / per_op_seconds) + 1)

@@ -1,0 +1,86 @@
+"""Post-simulation analysis: bandwidth utilization and time breakdowns.
+
+These helpers turn :class:`~repro.sim.engine.SimulationResult` objects
+into the aggregates the paper reports:
+
+- Table VII: per-operation and per-benchmark HBM bandwidth utilization;
+- Fig. 7: operator-core time share per basic operation;
+- Fig. 8: basic-operation time share per benchmark;
+- Fig. 9: key-operator time share per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ops import FheOp
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator, SimulationResult
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Bandwidth utilization of one operation or benchmark."""
+
+    name: str
+    utilization: float          # fraction of runtime the HBM streamed
+    achieved_bytes_per_s: float
+    total_bytes: int
+    seconds: float
+
+    @property
+    def utilization_percent(self) -> float:
+        return 100.0 * self.utilization
+
+
+def bandwidth_report(
+    name: str, result: SimulationResult, config: HardwareConfig
+) -> BandwidthReport:
+    """Summarize HBM usage of one simulated run."""
+    return BandwidthReport(
+        name=name,
+        utilization=result.bandwidth_utilization,
+        achieved_bytes_per_s=result.achieved_bandwidth(config),
+        total_bytes=result.hbm_bytes,
+        seconds=result.total_seconds,
+    )
+
+
+def operation_bandwidth(
+    op: FheOp, simulator: PoseidonSimulator
+) -> BandwidthReport:
+    """Table VII row: bandwidth utilization of one basic operation."""
+    result = simulator.run_ops([op])
+    return bandwidth_report(op.name.value, result, simulator.config)
+
+
+def operator_core_shares(result: SimulationResult) -> dict[str, dict[str, float]]:
+    """Fig. 7: per basic operation, the share of time in each core.
+
+    Returns ``{op_label: {core: share}}`` with shares summing to 1 per
+    operation.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for label, cores in result.operator_seconds.items():
+        total = sum(cores.values())
+        if total <= 0:
+            continue
+        out[label] = {core: t / total for core, t in cores.items()}
+    return out
+
+
+def benchmark_op_shares(result: SimulationResult) -> dict[str, float]:
+    """Fig. 8: share of total busy time per basic operation."""
+    return result.op_share()
+
+
+def benchmark_operator_shares(result: SimulationResult) -> dict[str, float]:
+    """Fig. 9: share of total busy time per operator core array."""
+    totals: dict[str, float] = {}
+    for cores in result.operator_seconds.values():
+        for core, t in cores.items():
+            totals[core] = totals.get(core, 0.0) + t
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {core: t / grand for core, t in totals.items()}

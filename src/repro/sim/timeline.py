@@ -1,0 +1,108 @@
+"""Timeline analysis of a simulated run — the scheduler's Gantt view.
+
+Turns the per-task records of a :class:`~repro.sim.engine.
+SimulationResult` into per-core occupancy intervals, idle-gap
+statistics and a coarse text rendering. Used to debug operator-reuse
+behaviour (is the NTT array actually saturated during keyswitch?) and
+by tests asserting the scheduler's invariants (no core overlaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class CoreInterval:
+    """One busy interval on a core array."""
+
+    core: str
+    start: float
+    end: float
+    op_label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Per-core occupancy extracted from a simulation result."""
+
+    def __init__(self, result: SimulationResult):
+        self.result = result
+        self.intervals: dict[str, list[CoreInterval]] = {}
+        for record in result.task_records:
+            self.intervals.setdefault(record.core, []).append(
+                CoreInterval(
+                    core=record.core,
+                    start=record.start,
+                    end=record.end,
+                    op_label=record.op_label,
+                )
+            )
+        for intervals in self.intervals.values():
+            intervals.sort(key=lambda iv: iv.start)
+
+    # ------------------------------------------------------------------
+    def verify_no_overlap(self) -> None:
+        """Assert the scheduler never double-booked a core array.
+
+        Raises:
+            SimulationError: on any overlapping pair.
+        """
+        for core, intervals in self.intervals.items():
+            for prev, cur in zip(intervals, intervals[1:]):
+                if cur.start < prev.end - 1e-15:
+                    raise SimulationError(
+                        f"core {core} double-booked: "
+                        f"[{prev.start:.3e}, {prev.end:.3e}] overlaps "
+                        f"[{cur.start:.3e}, {cur.end:.3e}]"
+                    )
+
+    def utilization(self, core: str) -> float:
+        """Busy fraction of one core over the makespan."""
+        total = self.result.total_seconds
+        if total <= 0:
+            return 0.0
+        busy = sum(iv.duration for iv in self.intervals.get(core, []))
+        return min(1.0, busy / total)
+
+    def idle_gaps(self, core: str) -> list[tuple[float, float]]:
+        """Idle intervals of one core between its first and last task."""
+        intervals = self.intervals.get(core, [])
+        gaps = []
+        for prev, cur in zip(intervals, intervals[1:]):
+            if cur.start > prev.end:
+                gaps.append((prev.end, cur.start))
+        return gaps
+
+    def busiest_core(self) -> str:
+        """The core with the highest busy time."""
+        if not self.intervals:
+            raise SimulationError("empty timeline")
+        return max(
+            self.intervals,
+            key=lambda core: sum(iv.duration for iv in self.intervals[core]),
+        )
+
+    # ------------------------------------------------------------------
+    def render(self, *, width: int = 64) -> str:
+        """Coarse text Gantt: one row per core, '#' where busy."""
+        total = self.result.total_seconds
+        if total <= 0:
+            return "(empty timeline)"
+        lines = []
+        for core in sorted(self.intervals):
+            cells = [" "] * width
+            for iv in self.intervals[core]:
+                lo = int(iv.start / total * width)
+                hi = max(lo + 1, int(iv.end / total * width))
+                for i in range(lo, min(hi, width)):
+                    cells[i] = "#"
+            busy = 100 * self.utilization(core)
+            lines.append(f"{core:14s} |{''.join(cells)}| {busy:5.1f}%")
+        return "\n".join(lines)

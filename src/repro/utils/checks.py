@@ -1,0 +1,59 @@
+"""Validation helpers shared across the library.
+
+Keeping precondition checks in one place gives uniform error messages
+and lets hot paths skip re-validation once inputs are normalized.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, RNSError
+from repro.utils.bitops import is_power_of_two
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive power of two; return it."""
+    if not isinstance(value, (int, np.integer)) or not is_power_of_two(int(value)):
+        raise ParameterError(f"{name} must be a power of two, got {value!r}")
+    return int(value)
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive integer; return it."""
+    if not isinstance(value, (int, np.integer)) or value <= 0:
+        raise ParameterError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate ``low <= value <= high``; return ``value``."""
+    if not (low <= value <= high):
+        raise ParameterError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence) -> None:
+    """Validate that two sequences have equal length."""
+    if len(a) != len(b):
+        raise RNSError(
+            f"{name_a} (len {len(a)}) and {name_b} (len {len(b)}) "
+            "must have the same length"
+        )
+
+
+def as_uint64_coeffs(values, n: int, q: int) -> np.ndarray:
+    """Normalize coefficients to a length-``n`` ``uint64`` array mod ``q``.
+
+    Accepts lists or arrays of Python ints / numpy ints; reduces into
+    ``[0, q)``.
+    """
+    arr = np.asarray(values, dtype=object)
+    if arr.ndim != 1 or arr.shape[0] != n:
+        raise RNSError(f"expected {n} coefficients, got shape {arr.shape}")
+    reduced = np.array([int(v) % q for v in arr.tolist()], dtype=np.uint64)
+    return reduced

@@ -1,0 +1,42 @@
+"""The paper's four evaluation benchmarks as operation traces.
+
+Each workload module builds the FHE basic-operation stream (Table V)
+that drives the cycle-level simulator, and — where feasible at toy
+parameters — a functional variant that really encrypts/evaluates via
+:mod:`repro.ckks` (used by the examples and integration tests).
+
+- :mod:`repro.workloads.helr` — logistic regression (HELR), L = 38,
+  10 iterations, 2 bootstraps.
+- :mod:`repro.workloads.lstm` — LSTM inference, 128x128 recurrent
+  matrix, 50 bootstraps.
+- :mod:`repro.workloads.resnet20` — ResNet-20 image inference.
+- :mod:`repro.workloads.bootstrap_wl` — fully packed bootstrapping,
+  refreshing L = 3 to L = 57.
+- :mod:`repro.workloads.generator` — synthetic op-mix generator for
+  stress tests and ablations.
+"""
+
+from repro.workloads.bootstrap_wl import packed_bootstrapping_trace
+from repro.workloads.generator import synthetic_trace
+from repro.workloads.helr import helr_trace
+from repro.workloads.lstm import lstm_trace
+from repro.workloads.resnet20 import resnet20_trace
+from repro.workloads.statistics import statistics_trace
+
+#: Name -> trace builder for all four paper benchmarks (Table V/VI).
+PAPER_BENCHMARKS = {
+    "LR": helr_trace,
+    "LSTM": lstm_trace,
+    "ResNet-20": resnet20_trace,
+    "Packed Bootstrapping": packed_bootstrapping_trace,
+}
+
+__all__ = [
+    "PAPER_BENCHMARKS",
+    "helr_trace",
+    "lstm_trace",
+    "packed_bootstrapping_trace",
+    "resnet20_trace",
+    "statistics_trace",
+    "synthetic_trace",
+]

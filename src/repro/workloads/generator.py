@@ -1,0 +1,95 @@
+"""Synthetic workload generation for stress tests and ablations.
+
+Generates random but depth-consistent operation streams with a
+configurable mix, so simulator features (scheduling, bandwidth
+accounting, energy) can be exercised across the whole op space and the
+lane/radix sweeps have workloads of controlled intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.ops import FheOpName
+from repro.compiler.trace import TraceRecorder
+from repro.errors import WorkloadError
+from repro.workloads.common import PAPER_AUX_LIMBS, WorkloadBuilder
+
+#: Default op mix (probabilities) for random traces.
+DEFAULT_MIX = {
+    FheOpName.HADD: 0.30,
+    FheOpName.PMULT: 0.25,
+    FheOpName.CMULT: 0.15,
+    FheOpName.ROTATION: 0.20,
+    FheOpName.KEYSWITCH: 0.05,
+    FheOpName.RESCALE: 0.05,
+}
+
+
+def synthetic_trace(
+    *,
+    degree: int = 1 << 14,
+    op_count: int = 100,
+    start_level: int = 20,
+    top_level: int | None = None,
+    mix: dict[FheOpName, float] | None = None,
+    aux_limbs: int = PAPER_AUX_LIMBS,
+    seed: int | None = 0,
+) -> TraceRecorder:
+    """Random depth-consistent op stream.
+
+    CMult draws also emit their rescale; when the chain bottoms out the
+    builder bootstraps, so arbitrarily long streams stay valid.
+
+    Args:
+        degree: ring degree for all ops.
+        op_count: number of mix draws (actual ops may be higher since
+            CMult brings a Rescale and bootstraps expand).
+        start_level/top_level: chain occupancy bounds.
+        mix: probability per op name (normalized internally).
+        aux_limbs: special primes assumed for keyswitching.
+        seed: RNG seed (None for entropy).
+    """
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    total = sum(mix.values())
+    if total <= 0:
+        raise WorkloadError("op mix must have positive total probability")
+    names = list(mix)
+    probs = np.array([mix[n] / total for n in names])
+    rng = np.random.default_rng(seed)
+
+    top = start_level if top_level is None else top_level
+    builder = WorkloadBuilder(
+        degree=degree,
+        start_level=start_level,
+        top_level=top,
+        aux_limbs=aux_limbs,
+    )
+    # Keep enough headroom that CMult+Rescale never underflows.
+    min_level = 2
+    for _ in range(op_count):
+        if builder.levels.level <= min_level:
+            if top > start_level or top >= 8:
+                builder.bootstrap(
+                    c2s_stages=1, s2c_stages=1,
+                    taylor_degree=3, double_angles=2,
+                )
+            else:
+                builder.levels.refresh()
+        name = names[int(rng.choice(len(names), p=probs))]
+        if name is FheOpName.HADD:
+            builder.hadd(1)
+        elif name is FheOpName.PMULT:
+            builder.pmult(1)
+        elif name is FheOpName.CMULT:
+            builder.cmult(1)
+        elif name is FheOpName.ROTATION:
+            builder.rotation(1)
+        elif name is FheOpName.KEYSWITCH:
+            builder.keyswitch(1)
+        elif name is FheOpName.RESCALE:
+            if builder.levels.level > min_level:
+                builder.rescale()
+        else:
+            raise WorkloadError(f"unsupported op in mix: {name}")
+    return builder.build()

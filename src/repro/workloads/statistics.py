@@ -1,0 +1,85 @@
+"""Private statistics over encrypted records.
+
+The paper's introduction motivates FHE with third-party processing of
+sensitive records (financial, medical). This workload is that scenario
+distilled: a server computes aggregate statistics — mean, variance,
+weighted scores — over ciphertext-packed records without decrypting.
+
+Operation mix: PMult (weights/masks), CMult (squares for variance),
+rotate-accumulate reductions — a HAdd/PMult/Rotation-heavy profile
+that complements the NN benchmarks' CMult-heavy ones, useful for
+exercising the bandwidth-bound end of Table VII.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compiler.trace import TraceRecorder
+from repro.workloads.common import PAPER_DEGREE, WorkloadBuilder
+
+
+def statistics_trace(
+    *,
+    degree: int = PAPER_DEGREE,
+    record_batches: int = 16,
+    start_level: int = 6,
+    top_level: int = 8,
+) -> TraceRecorder:
+    """Trace: per batch, masked mean + variance of packed records."""
+    builder = WorkloadBuilder(
+        degree=degree, start_level=start_level, top_level=top_level
+    )
+    width = degree // 2
+    for _ in range(record_batches):
+        if builder.levels.level < 3:
+            builder.levels.refresh()  # fresh batches arrive at top level
+        # Mask invalid slots, square for the second moment, reduce.
+        builder.pmult(1, rescale=True)        # mask
+        builder.cmult(1)                      # x^2 (for variance)
+        builder.rotate_accumulate(width)      # sum x and sum x^2
+        builder.hadd(2)                       # accumulate across batches
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Functional variant
+# ----------------------------------------------------------------------
+def encrypted_mean_variance(
+    evaluator,
+    encoder,
+    encryptor,
+    decryptor,
+    values: np.ndarray,
+) -> tuple[float, float]:
+    """Mean and variance of an encrypted vector, computed blind.
+
+    The count is public (the client knows how many records it sent);
+    sums are computed homomorphically via rotate-accumulate, so the
+    server never sees an individual value.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    count = values.shape[0]
+    slots = encoder.slots
+    if count > slots:
+        raise ValueError(f"{count} records exceed {slots} slots")
+    width = 1 << max(1, int(math.ceil(math.log2(max(2, count)))))
+
+    padded = np.zeros(slots)
+    padded[:count] = values
+    ct = encryptor.encrypt(encoder.encode(padded))
+
+    # sum(x): rotate-accumulate; slot 0 then holds the full sum.
+    sum_ct = evaluator.rotate_sum(ct, width)
+    # sum(x^2): square first (consumes a level), then reduce.
+    sq_ct = evaluator.rotate_sum(
+        evaluator.rescale(evaluator.square(ct)), width
+    )
+
+    total = encoder.decode(decryptor.decrypt(sum_ct)).real[0]
+    total_sq = encoder.decode(decryptor.decrypt(sq_ct)).real[0]
+    mean = total / count
+    variance = total_sq / count - mean**2
+    return float(mean), float(variance)

@@ -1,0 +1,77 @@
+"""Shape tests for the regenerated paper figures."""
+
+import pytest
+
+from repro.analysis.figures import (
+    fig7_operator_analysis,
+    fig10_k_sweep,
+    fig11_lane_scaling,
+)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig7_operator_analysis()
+
+    def test_hadd_pure_ma(self, fig):
+        shares = fig["series"]["HAdd"]
+        assert shares.get("MA", 0) == pytest.approx(1.0)
+
+    def test_pmult_pure_mm(self, fig):
+        shares = fig["series"]["PMult"]
+        assert shares.get("MM", 0) == pytest.approx(1.0)
+
+    def test_rotation_touches_all(self, fig):
+        shares = fig["series"]["Rotation"]
+        assert set(shares) >= {"MA", "MM", "NTT", "Automorphism"}
+
+    def test_keyswitch_ntt_heavy(self, fig):
+        """Fig. 7/9: NTT dominates keyswitch time."""
+        shares = fig["series"]["Keyswitch"]
+        assert shares["NTT"] > shares["MA"]
+        assert shares["NTT"] > shares["Automorphism"] if (
+            "Automorphism" in shares
+        ) else True
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig10_k_sweep()
+
+    def test_best_k_is_3(self, fig):
+        assert fig["best_k"] == 3
+
+    def test_resources_inflect_at_3(self, fig):
+        luts = {r["k"]: r["lut"] for r in fig["rows"]}
+        assert luts[3] == min(luts.values())
+        dsps = {r["k"]: r["dsp"] for r in fig["rows"]}
+        assert dsps[3] == min(dsps.values())
+
+    def test_time_inflects_at_3(self, fig):
+        times = {r["k"]: r["ntt_us"] for r in fig["rows"]}
+        assert times[3] == min(times.values())
+        assert times[6] > times[3]
+        assert times[2] > times[3]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        # LR is the cheapest benchmark to sweep.
+        return fig11_lane_scaling(benchmark="LR")
+
+    def test_lane_points(self, fig):
+        assert [r["lanes"] for r in fig["rows"]] == [64, 128, 256, 512]
+
+    def test_monotone_speedup(self, fig):
+        times = [r["seconds"] for r in fig["rows"]]
+        assert times == sorted(times, reverse=True)
+
+    def test_diminishing_returns(self, fig):
+        """Fig. 11: growth slows as bandwidth saturates."""
+        t = [r["seconds"] for r in fig["rows"]]
+        first_gain = t[0] / t[1]
+        last_gain = t[2] / t[3]
+        assert last_gain < first_gain

@@ -1,0 +1,52 @@
+"""Unit tests for the report rendering helpers."""
+
+from repro.analysis.report import format_value, render_shares, render_table
+
+
+class TestFormatValue:
+    def test_none_is_slash(self):
+        assert format_value(None) == "/"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(42.25) == "42.2"
+        assert format_value(0.125) == "0.125"
+
+    def test_int_passthrough(self):
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"],
+            [{"name": "a", "value": 1}, {"name": "bb", "value": None}],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("-")
+        assert "/" in lines[4]
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderShares:
+    def test_percentages(self):
+        text = render_shares({"op": {"MA": 0.25, "MM": 0.75}})
+        assert "25.0%" in text
+        assert "75.0%" in text
+
+    def test_missing_categories_zero(self):
+        text = render_shares(
+            {"a": {"MA": 1.0}, "b": {"MM": 1.0}}
+        )
+        assert "0.0%" in text

@@ -1,0 +1,52 @@
+"""Unit tests for the headline-claims summary generator."""
+
+import pytest
+
+from repro.analysis.summary import (
+    HeadlineClaim,
+    headline_claims,
+    render_markdown,
+)
+
+
+class TestHeadlineClaim:
+    def test_ratio(self):
+        claim = HeadlineClaim("x", 100.0, 50.0)
+        assert claim.ratio == pytest.approx(0.5)
+
+    def test_within(self):
+        claim = HeadlineClaim("x", 100.0, 60.0)
+        assert claim.within(2.0)
+        assert not claim.within(1.5)
+
+    def test_within_symmetric(self):
+        low = HeadlineClaim("lo", 100.0, 51.0)
+        high = HeadlineClaim("hi", 100.0, 199.0)
+        assert low.within(2.0) and high.within(2.0)
+        assert not HeadlineClaim("x", 100.0, 201.0).within(2.0)
+
+
+class TestHeadlines:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return {c.name: c for c in headline_claims()}
+
+    def test_five_claims(self, claims):
+        assert len(claims) == 5
+
+    def test_all_directions_hold(self, claims):
+        """Poseidon must genuinely win each comparison."""
+        for claim in claims.values():
+            assert claim.measured_factor > 1.0, claim.name
+
+    def test_all_within_2x(self, claims):
+        for claim in claims.values():
+            assert claim.within(2.0), (claim.name, claim.ratio)
+
+
+class TestRendering:
+    def test_markdown_structure(self):
+        text = render_markdown()
+        assert text.startswith("# Reproduction summary")
+        assert "| claim | paper | measured |" in text
+        assert "Packed Bootstrapping" in text

@@ -1,0 +1,124 @@
+"""Shape tests for the regenerated paper tables.
+
+These assert the paper's *qualitative* claims — who wins, what
+dominates, where the optimum sits — rather than absolute numbers.
+Measured-vs-paper per-cell records live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_POSEIDON_MS,
+    table1_operator_usage,
+    table2_ntt_fusion,
+    table4_basic_ops,
+    table8_hfauto_resources,
+    table11_core_resources,
+    table12_fpga_comparison,
+)
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        t = table1_operator_usage()
+        rows = {r["operation"]: r for r in t["rows"]}
+        assert rows["HAdd"]["MA"] and not rows["HAdd"]["NTT/INTT"]
+        assert rows["PMult"]["MM"] and not rows["PMult"]["Automorphism"]
+        assert rows["Rotation"]["Automorphism"]
+        assert rows["Keyswitch"]["NTT/INTT"]
+        assert all(rows[op]["SBT"] for op in
+                   ("PMult", "CMult", "Keyswitch", "Rotation", "Rescale"))
+
+
+class TestTable2:
+    def test_k_range(self):
+        t = table2_ntt_fusion()
+        assert [r["k"] for r in t["rows"]] == [2, 3, 4, 5, 6]
+
+    def test_unfused_columns_exact(self):
+        for row in table2_ntt_fusion()["rows"]:
+            assert row["W_unfused"] == row["paper"]["W_unfused"]
+            assert row["mult_unfused"] == row["paper"]["mult_unfused"]
+
+    def test_fusion_tradeoff_shape(self):
+        """Fused multiplies grow superlinearly; reductions drop ~3x."""
+        rows = table2_ntt_fusion()["rows"]
+        for row in rows:
+            assert row["mult_fused"] > row["mult_unfused"]
+            assert row["modred_fused"] < row["modred_unfused"]
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table4_basic_ops()
+
+    def test_all_ops_present(self, table):
+        ops = [r["operation"] for r in table["rows"]]
+        assert ops == ["PMult", "CMult", "NTT", "Keyswitch", "Rotation",
+                       "Rescale"]
+
+    def test_poseidon_beats_cpu_everywhere(self, table):
+        for row in table["rows"]:
+            assert row["speedup_vs_cpu"] > 50, row["operation"]
+
+    def test_speedup_shape_complex_ops_highest(self, table):
+        """Paper: CMult/Keyswitch/Rotation speedups exceed PMult's."""
+        rows = {r["operation"]: r for r in table["rows"]}
+        for name in ("CMult", "Keyswitch", "Rotation", "NTT"):
+            assert (
+                rows[name]["speedup_vs_cpu"]
+                > rows["PMult"]["speedup_vs_cpu"]
+            )
+
+    def test_poseidon_beats_heax(self, table):
+        rows = {r["operation"]: r for r in table["rows"]}
+        for name in ("PMult", "CMult"):
+            assert rows[name]["poseidon_ops"] > rows[name]["heax_ops"]
+
+    def test_speedups_within_3x_of_paper(self, table):
+        for row in table["rows"]:
+            paper = row["paper"]["speedup_vs_cpu"]
+            assert paper / 3 < row["speedup_vs_cpu"] < paper * 3, row
+
+
+class TestTable8:
+    def test_tradeoff(self):
+        t = table8_hfauto_resources()
+        auto, hfauto = t["rows"]
+        assert auto["design"] == "Auto"
+        assert hfauto["lut"] > auto["lut"]
+        assert hfauto["latency_cycles"] < auto["latency_cycles"]
+
+    def test_calibrated_cells(self):
+        t = table8_hfauto_resources()
+        hfauto = t["rows"][1]
+        assert hfauto["lut"] == hfauto["paper"]["lut"]
+        assert hfauto["ff"] == hfauto["paper"]["ff"]
+
+
+class TestTable11And12:
+    def test_core_rows(self):
+        t = table11_core_resources()
+        cores = [r["core"] for r in t["rows"]]
+        assert cores[:5] == ["MA", "MM", "SBT", "NTT", "Automorphism"]
+        assert "Total" in cores[-1]
+
+    def test_mm_ntt_sbt_use_dsps(self):
+        rows = {r["core"]: r for r in table11_core_resources()["rows"]}
+        assert rows["MM"]["dsp"] > 0
+        assert rows["NTT"]["dsp"] > 0
+        assert rows["MA"]["dsp"] == 0
+
+    def test_poseidon_leaner_than_rivals(self):
+        rows = {r["design"]: r for r in table12_fpga_comparison()["rows"]}
+        poseidon = rows["Poseidon (model)"]
+        for rival in ("HEAX [32]", "Kim et al. [25][26]"):
+            assert poseidon["lut"] < rows[rival]["lut"]
+            assert poseidon["dsp"] < rows[rival]["dsp"]
+
+
+class TestPaperConstants:
+    def test_poseidon_reference_times(self):
+        assert PAPER_POSEIDON_MS["Packed Bootstrapping"] == 127.45
+        assert PAPER_POSEIDON_MS["LR"] == 72.98

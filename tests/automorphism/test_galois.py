@@ -1,0 +1,80 @@
+"""Unit tests for Galois-element computation for slot rotations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutomorphismError
+from repro.automorphism.galois import (
+    ROTATION_GENERATOR,
+    conjugation_element,
+    galois_element_for_rotation,
+    hoisted_rotation_elements,
+    rotation_for_galois_element,
+)
+
+N = 64
+
+
+class TestGaloisElements:
+    def test_rotation_zero_is_identity(self):
+        assert galois_element_for_rotation(N, 0) == 1
+
+    def test_rotation_one(self):
+        assert galois_element_for_rotation(N, 1) == ROTATION_GENERATOR
+
+    def test_always_odd(self):
+        for steps in range(N // 2):
+            assert galois_element_for_rotation(N, steps) % 2 == 1
+
+    def test_wraps_modulo_slots(self):
+        slots = N // 2
+        assert galois_element_for_rotation(N, slots + 3) == (
+            galois_element_for_rotation(N, 3)
+        )
+
+    def test_negative_steps(self):
+        """Rotation by -1 equals rotation by slots - 1."""
+        assert galois_element_for_rotation(N, -1) == (
+            galois_element_for_rotation(N, N // 2 - 1)
+        )
+
+    def test_composition_additive(self):
+        g1 = galois_element_for_rotation(N, 3)
+        g2 = galois_element_for_rotation(N, 4)
+        g12 = galois_element_for_rotation(N, 7)
+        assert g1 * g2 % (2 * N) == g12
+
+    def test_rejects_tiny_degree(self):
+        with pytest.raises(AutomorphismError):
+            galois_element_for_rotation(2, 1)
+
+
+class TestConjugation:
+    def test_element(self):
+        assert conjugation_element(N) == 2 * N - 1
+
+    def test_self_inverse(self):
+        g = conjugation_element(N)
+        assert g * g % (2 * N) == 1
+
+    def test_not_in_rotation_subgroup(self):
+        assert rotation_for_galois_element(N, conjugation_element(N)) is None
+
+
+class TestInversion:
+    def test_roundtrip(self):
+        for steps in (0, 1, 5, N // 2 - 1):
+            g = galois_element_for_rotation(N, steps)
+            assert rotation_for_galois_element(N, g) == steps
+
+
+class TestHoisting:
+    def test_deduplicates(self):
+        elements = hoisted_rotation_elements(N, [1, 2, 1, 3, 2])
+        assert len(elements) == 3
+        assert elements[0] == galois_element_for_rotation(N, 1)
+
+    def test_preserves_order(self):
+        elements = hoisted_rotation_elements(N, [4, 2, 9])
+        expected = [galois_element_for_rotation(N, s) for s in (4, 2, 9)]
+        assert elements == expected

@@ -1,0 +1,152 @@
+"""Unit and property tests for HFAuto (paper §III-B, Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AutomorphismError
+from repro.automorphism.hfauto import (
+    DEFAULT_SUBVECTOR,
+    HFAutoPlan,
+    get_plan,
+    hfauto_apply,
+)
+from repro.automorphism.mapping import (
+    apply_automorphism_poly,
+    apply_automorphism_row,
+)
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+from repro.utils.primes import find_ntt_primes
+
+N = 256
+C = 16  # sub-vector length for tests (512 in hardware)
+PRIMES = find_ntt_primes(30, 2, N)
+Q = PRIMES[0]
+
+
+def random_row(seed=0):
+    return np.random.default_rng(seed).integers(0, Q, N, dtype=np.uint64)
+
+
+class TestLemma:
+    """The paper's lemma: floor((a mod C*R) / C) = floor(a/C) mod R."""
+
+    @given(st.integers(0, 10**12), st.integers(1, 1000), st.integers(1, 1000))
+    @settings(max_examples=200)
+    def test_lemma_holds(self, a, c, r):
+        assert (a % (c * r)) // c == (a // c) % r
+
+
+class TestEquivalenceWithNaive:
+    @pytest.mark.parametrize("k", [1, 3, 5, 9, 25, 2 * N - 1, 5**7 % (2 * N)])
+    def test_matches_naive_row(self, k):
+        row = random_row(k)
+        plan = HFAutoPlan(N, k, C)
+        assert np.array_equal(
+            plan.apply_row(row, Q), apply_automorphism_row(row, Q, k)
+        )
+
+    @pytest.mark.parametrize("c", [4, 8, 32, 128, 256])
+    def test_any_subvector_length(self, c):
+        """'swap operation of the sub-vectors in an arbitrary
+        granularity' — the abstract's claim."""
+        row = random_row(c)
+        plan = HFAutoPlan(N, 5, c)
+        assert np.array_equal(
+            plan.apply_row(row, Q), apply_automorphism_row(row, Q, 5)
+        )
+
+    def test_matches_naive_poly(self):
+        ctx = RnsContext(PRIMES)
+        poly = RnsPolynomial.from_integers(list(range(N)), ctx)
+        got = hfauto_apply(poly, 7, subvector=C)
+        expected = apply_automorphism_poly(poly, 7)
+        assert got == expected
+
+    @given(st.integers(0, N - 1).map(lambda v: 2 * v + 1),
+           st.integers(0, 2**31))
+    @settings(max_examples=50)
+    def test_equivalence_property(self, k, seed):
+        row = random_row(seed)
+        plan = get_plan(N, k, C)
+        assert np.array_equal(
+            plan.apply_row(row, Q), apply_automorphism_row(row, Q, k)
+        )
+
+
+class TestStageStructure:
+    def test_stage1_is_row_permutation(self):
+        plan = HFAutoPlan(N, 5, C)
+        matrix = np.arange(N, dtype=np.uint64).reshape(plan.r, plan.c)
+        out = plan.stage1_row_map(matrix)
+        # Every row of the input appears intact somewhere in the output.
+        in_rows = {tuple(r.tolist()) for r in matrix}
+        out_rows = {tuple(r.tolist()) for r in out}
+        assert in_rows == out_rows
+
+    def test_stage2_preserves_columns_as_multisets(self):
+        plan = HFAutoPlan(N, 5, C)
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, Q, (plan.r, plan.c), dtype=np.uint64)
+        out = plan.stage2_fifo_shift(matrix)
+        for j in range(plan.c):
+            assert sorted(out[:, j].tolist()) == sorted(matrix[:, j].tolist())
+
+    def test_stage3_is_transpose(self):
+        plan = HFAutoPlan(N, 5, C)
+        matrix = np.arange(N, dtype=np.uint64).reshape(plan.r, plan.c)
+        assert np.array_equal(plan.stage3_dimension_switch(matrix), matrix.T)
+
+    def test_stage4_permutes_columns(self):
+        plan = HFAutoPlan(N, 5, C)
+        rng = np.random.default_rng(4)
+        matrix = rng.integers(0, Q, (plan.r, plan.c), dtype=np.uint64)
+        out = plan.stage4_column_map(matrix.T.copy())
+        in_cols = {tuple(matrix[:, j].tolist()) for j in range(plan.c)}
+        out_cols = {tuple(out[:, j].tolist()) for j in range(plan.c)}
+        assert in_cols == out_cols
+
+
+class TestValidation:
+    def test_rejects_even_galois(self):
+        with pytest.raises(AutomorphismError):
+            HFAutoPlan(N, 4, C)
+
+    def test_rejects_non_dividing_subvector(self):
+        with pytest.raises(AutomorphismError):
+            HFAutoPlan(N, 3, 24)
+
+    def test_rejects_wrong_row_shape(self):
+        plan = HFAutoPlan(N, 3, C)
+        with pytest.raises(AutomorphismError):
+            plan.apply_row(np.zeros(N // 2, dtype=np.uint64), Q)
+
+    def test_rejects_ntt_domain(self):
+        ctx = RnsContext(PRIMES)
+        poly = RnsPolynomial.zeros(N, ctx).with_domain(Domain.NTT)
+        with pytest.raises(AutomorphismError):
+            hfauto_apply(poly, 3)
+
+
+class TestCycleModel:
+    def test_stage_costs_match_paper_structure(self):
+        """Table VIII: HFAuto latency ~ 3R + C; naive Auto ~ N."""
+        plan = HFAutoPlan(1 << 16, 3, DEFAULT_SUBVECTOR)
+        assert plan.naive_cycles() == 1 << 16
+        assert plan.total_cycles() == 3 * plan.r + plan.c
+
+    def test_hfauto_always_faster_at_scale(self):
+        for logn in (12, 14, 16, 17):
+            plan = HFAutoPlan(1 << logn, 3, DEFAULT_SUBVECTOR)
+            assert plan.total_cycles() < plan.naive_cycles()
+
+    def test_paper_table8_latency(self):
+        """At N = 2^17 (paper's largest), naive = 131072 cycles, HFAuto
+        = 3*256 + 512; the paper quotes 512 (its dominant term)."""
+        plan = HFAutoPlan(1 << 17, 3, DEFAULT_SUBVECTOR)
+        assert plan.naive_cycles() == 131072
+        assert plan.total_cycles() == 3 * 256 + 512
+
+    def test_plan_cache(self):
+        assert get_plan(N, 3, C) is get_plan(N, 3, C)

@@ -1,0 +1,73 @@
+"""Unit tests for the analytical CPU baseline."""
+
+import pytest
+
+from repro.baselines.cpu import CpuModel, PAPER_CPU_OPS_PER_S
+from repro.compiler.ops import FheOp, FheOpName
+
+N, L, AUX = 1 << 16, 44, 4
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CpuModel()
+
+
+def make(name):
+    return FheOp.make(name, N, L, aux_limbs=AUX)
+
+
+class TestCalibration:
+    """The model must land within 2x of every paper Table IV figure."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["PMult", "CMult", "Keyswitch", "Rotation", "Rescale"],
+    )
+    def test_within_2x_of_paper(self, model, name):
+        op = make(FheOpName.from_label(name))
+        modelled = model.operations_per_second(op)
+        paper = PAPER_CPU_OPS_PER_S[name]
+        assert paper / 2 < modelled < paper * 2, (name, modelled, paper)
+
+    def test_ntt_within_2x(self, model):
+        modelled = 1.0 / model.ntt_op_seconds(N, L)
+        paper = PAPER_CPU_OPS_PER_S["NTT"]
+        assert paper / 2 < modelled < paper * 2
+
+
+class TestScalingBehaviour:
+    def test_ntt_nloglogn_scaling(self, model):
+        t1 = model.ntt_seconds(1 << 12, 1)
+        t2 = model.ntt_seconds(1 << 13, 1)
+        assert t2 / t1 == pytest.approx(2 * 13 / 12, rel=0.01)
+
+    def test_keyswitch_quadratic_in_limbs(self, model):
+        shallow = model.keyswitch_seconds(
+            FheOp.make(FheOpName.KEYSWITCH, N, 10, aux_limbs=1)
+        )
+        deep = model.keyswitch_seconds(
+            FheOp.make(FheOpName.KEYSWITCH, N, 43, aux_limbs=1)
+        )
+        # digits x ext-limb NTTs: ~L^2 growth.
+        assert deep / shallow > 8
+
+    def test_cmult_dominated_by_keyswitch(self, model):
+        op = make(FheOpName.CMULT)
+        assert model.keyswitch_seconds(op) > 0.5 * model.operation_seconds(op)
+
+    def test_hadd_cheapest(self, model):
+        hadd = model.operation_seconds(make(FheOpName.HADD))
+        for name in (FheOpName.PMULT, FheOpName.CMULT, FheOpName.ROTATION):
+            assert hadd < model.operation_seconds(make(name))
+
+    def test_trace_seconds_additive(self, model):
+        ops = [make(FheOpName.HADD), make(FheOpName.PMULT)]
+        total = model.trace_seconds(ops)
+        assert total == pytest.approx(
+            sum(model.operation_seconds(op) for op in ops)
+        )
+
+    def test_hoisted_rotation_priced(self, model):
+        op = FheOp.make(FheOpName.HOISTED_ROTATION, N, L, aux_limbs=AUX)
+        assert model.operation_seconds(op) > 0

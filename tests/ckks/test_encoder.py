@@ -1,0 +1,118 @@
+"""Unit tests for the canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.params import CkksParameters
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return CkksParameters.default(degree=64, levels=3)
+
+
+@pytest.fixture(scope="module")
+def small_encoder(small_params):
+    return CkksEncoder(small_params)
+
+
+class TestRoundtrip:
+    def test_real_vector(self, small_encoder, small_params):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, small_params.slot_count)
+        decoded = small_encoder.decode(small_encoder.encode(x))
+        assert np.max(np.abs(decoded.real - x)) < 1e-4
+        assert np.max(np.abs(decoded.imag)) < 1e-4
+
+    def test_complex_vector(self, small_encoder, small_params):
+        rng = np.random.default_rng(1)
+        z = rng.uniform(-1, 1, small_params.slot_count) + 1j * rng.uniform(
+            -1, 1, small_params.slot_count
+        )
+        decoded = small_encoder.decode(small_encoder.encode(z))
+        assert np.max(np.abs(decoded - z)) < 1e-4
+
+    def test_short_input_zero_padded(self, small_encoder):
+        pt = small_encoder.encode([1.0, 2.0])
+        decoded = small_encoder.decode(pt)
+        assert abs(decoded[0] - 1.0) < 1e-4
+        assert abs(decoded[1] - 2.0) < 1e-4
+        assert np.max(np.abs(decoded[2:])) < 1e-4
+
+    def test_higher_scale_higher_precision(self, small_params):
+        enc = CkksEncoder(small_params)
+        x = np.full(small_params.slot_count, 1 / 3)
+        low = enc.decode(enc.encode(x, scale=2.0**12))
+        high = enc.decode(enc.encode(x, scale=2.0**26))
+        assert np.max(np.abs(high.real - x)) < np.max(np.abs(low.real - x))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20)
+    def test_roundtrip_property(self, seed):
+        params = CkksParameters.default(degree=64, levels=3)
+        enc = CkksEncoder(params)
+        x = np.random.default_rng(seed).uniform(-1, 1, params.slot_count)
+        decoded = enc.decode(enc.encode(x))
+        assert np.max(np.abs(decoded.real - x)) < 1e-3
+
+
+class TestStructure:
+    def test_too_many_slots_rejected(self, small_encoder, small_params):
+        with pytest.raises(ParameterError):
+            small_encoder.encode(np.zeros(small_params.slot_count + 1))
+
+    def test_scalar_broadcast(self, small_encoder, small_params):
+        pt = small_encoder.encode_scalar(0.5)
+        decoded = small_encoder.decode(pt)
+        assert np.max(np.abs(decoded.real - 0.5)) < 1e-4
+
+    def test_level_context_encoding(self, small_encoder, small_params):
+        ctx = small_params.context_at_level(1)
+        pt = small_encoder.encode([0.25], context=ctx)
+        assert pt.poly.level_count == 2
+
+    def test_encode_is_homomorphic_under_add(self, small_encoder, small_params):
+        """encode(x) + encode(y) decodes to x + y (linearity)."""
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, small_params.slot_count)
+        y = rng.uniform(-1, 1, small_params.slot_count)
+        px = small_encoder.encode(x)
+        py = small_encoder.encode(y)
+        from repro.ckks.ciphertext import Plaintext
+
+        psum = Plaintext(poly=px.poly + py.poly, scale=px.scale)
+        decoded = small_encoder.decode(psum)
+        assert np.max(np.abs(decoded.real - (x + y))) < 1e-3
+
+    def test_rotation_in_slot_space(self, small_encoder, small_params):
+        """Applying sigma_5 to an encoded poly rotates slots by one."""
+        from repro.automorphism.mapping import apply_automorphism_poly
+        from repro.ckks.ciphertext import Plaintext
+
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, small_params.slot_count)
+        pt = small_encoder.encode(x)
+        rotated = apply_automorphism_poly(pt.poly, 5)
+        decoded = small_encoder.decode(
+            Plaintext(poly=rotated, scale=pt.scale)
+        )
+        assert np.max(np.abs(decoded.real - np.roll(x, -1))) < 1e-3
+
+    def test_conjugation_in_slot_space(self, small_encoder, small_params):
+        """sigma_{2N-1} conjugates the slots."""
+        from repro.automorphism.mapping import apply_automorphism_poly
+        from repro.ckks.ciphertext import Plaintext
+
+        rng = np.random.default_rng(4)
+        z = rng.uniform(-1, 1, small_params.slot_count) + 1j * rng.uniform(
+            -1, 1, small_params.slot_count
+        )
+        pt = small_encoder.encode(z)
+        conj = apply_automorphism_poly(
+            pt.poly, 2 * small_params.degree - 1
+        )
+        decoded = small_encoder.decode(Plaintext(poly=conj, scale=pt.scale))
+        assert np.max(np.abs(decoded - np.conj(z))) < 1e-3

@@ -1,0 +1,92 @@
+"""Unit tests for key generation, encryption and decryption."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import (
+    KeyChain,
+    sample_gaussian_integers,
+    sample_ternary_integers,
+)
+from tests.conftest import decrypt_real
+
+
+class TestSampling:
+    def test_ternary_range(self):
+        rng = np.random.default_rng(0)
+        coeffs = sample_ternary_integers(256, rng)
+        assert set(coeffs) <= {-1, 0, 1}
+
+    def test_ternary_hamming_weight(self):
+        rng = np.random.default_rng(1)
+        coeffs = sample_ternary_integers(256, rng, hamming_weight=16)
+        assert sum(1 for c in coeffs if c != 0) == 16
+
+    def test_gaussian_magnitude(self):
+        rng = np.random.default_rng(2)
+        coeffs = sample_gaussian_integers(4096, rng)
+        assert max(abs(c) for c in coeffs) < 30  # ~9 sigma
+        assert abs(sum(coeffs)) < 4 * 3.2 * 64  # mean near zero
+
+
+class TestKeyChain:
+    def test_public_key_is_rlwe_sample(self, params, keys):
+        """b + a*s must decode to the small error e."""
+        from repro.ntt.negacyclic import intt_negacyclic
+
+        s = keys.secret.poly_ntt(params.context)
+        check = intt_negacyclic(keys.public.b + keys.public.a.hadamard(s))
+        error = check.to_integers()
+        assert max(abs(v) for v in error) < 30
+
+    def test_galois_key_cached(self, keys):
+        k1 = keys.rotation_key(3)
+        k2 = keys.rotation_key(3)
+        assert k1 is k2
+
+    def test_relin_key_rank(self, params, keys):
+        assert keys.relin.rank == len(params.chain_moduli)
+
+    def test_distinct_seeds_differ(self, params):
+        a = KeyChain.generate(params, seed=1)
+        b = KeyChain.generate(params, seed=2)
+        assert a.secret.coefficients != b.secret.coefficients
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, encoder, encryptor, decryptor, slot_vectors):
+        x, _ = slot_vectors
+        ct = encryptor.encrypt(encoder.encode(x))
+        assert ct.size == 2
+        assert np.max(np.abs(decrypt_real(encoder, decryptor, ct) - x)) < 1e-3
+
+    def test_symmetric_roundtrip(self, encoder, encryptor, decryptor,
+                                 slot_vectors):
+        x, _ = slot_vectors
+        ct = encryptor.encrypt_symmetric(encoder.encode(x))
+        assert np.max(np.abs(decrypt_real(encoder, decryptor, ct) - x)) < 1e-3
+
+    def test_fresh_ciphertexts_differ(self, encoder, encryptor):
+        pt = encoder.encode([1.0])
+        c1 = encryptor.encrypt(pt)
+        c2 = encryptor.encrypt(pt)
+        assert not np.array_equal(c1.parts[0].data, c2.parts[0].data)
+
+    def test_level_and_scale(self, params, encoder, encryptor):
+        ct = encryptor.encrypt(encoder.encode([0.5]))
+        assert ct.level == params.max_level
+        assert ct.scale == params.scale
+
+    def test_wrong_context_rejected(self, params, encoder, encryptor):
+        from repro.errors import EncryptionError
+
+        pt = encoder.encode([0.5], context=params.context_at_level(0))
+        with pytest.raises(EncryptionError):
+            encryptor.encrypt(pt)
+
+    def test_complex_message(self, encoder, encryptor, decryptor, params):
+        rng = np.random.default_rng(5)
+        z = rng.uniform(-1, 1, params.slot_count) * (0.5 + 0.5j)
+        ct = encryptor.encrypt(encoder.encode(z))
+        decoded = encoder.decode(decryptor.decrypt(ct))
+        assert np.max(np.abs(decoded - z)) < 1e-3

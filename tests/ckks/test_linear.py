@@ -1,0 +1,107 @@
+"""Unit tests for homomorphic linear transforms (diagonal method)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ckks.linear import LinearTransform, matrix_diagonals
+from tests.conftest import decrypt_real
+
+
+class TestMatrixDiagonals:
+    def test_dense(self):
+        m = np.arange(16, dtype=float).reshape(4, 4)
+        diags = matrix_diagonals(m)
+        assert set(diags) == {0, 1, 2, 3}
+        assert np.allclose(diags[0], np.diag(m))
+        assert np.allclose(diags[1], [m[0, 1], m[1, 2], m[2, 3], m[3, 0]])
+
+    def test_sparse_skips_zero_diagonals(self):
+        m = np.eye(4)
+        diags = matrix_diagonals(m)
+        assert set(diags) == {0}
+
+    def test_rejects_non_square(self):
+        with pytest.raises(EvaluationError):
+            matrix_diagonals(np.zeros((2, 3)))
+
+    def test_reconstruction(self):
+        """Diagonals fully determine the matrix."""
+        rng = np.random.default_rng(0)
+        m = rng.uniform(-1, 1, (8, 8))
+        diags = matrix_diagonals(m)
+        rebuilt = np.zeros((8, 8))
+        rows = np.arange(8)
+        for d, diag in diags.items():
+            rebuilt[rows, (rows + d) % 8] = diag.real
+        assert np.allclose(rebuilt, m)
+
+
+@pytest.fixture(scope="module")
+def packed_ct(params, encoder, encryptor):
+    """An 8-vector replicated across all slots."""
+    rng = np.random.default_rng(1)
+    vec = rng.uniform(-1, 1, 8)
+    reps = encoder.slots // 8
+    ct = encryptor.encrypt(encoder.encode(np.tile(vec, reps)))
+    return vec, ct
+
+
+class TestLinearTransform:
+    def test_identity(self, evaluator, encoder, decryptor, packed_ct):
+        vec, ct = packed_ct
+        lt = LinearTransform(evaluator, encoder, np.eye(8))
+        out = decrypt_real(encoder, decryptor, lt.apply(ct))
+        assert np.max(np.abs(out[:8] - vec)) < 1e-2
+
+    def test_dense_direct(self, evaluator, encoder, decryptor, packed_ct):
+        vec, ct = packed_ct
+        rng = np.random.default_rng(2)
+        m = rng.uniform(-1, 1, (8, 8))
+        lt = LinearTransform(evaluator, encoder, m, use_bsgs=False)
+        out = decrypt_real(encoder, decryptor, lt.apply(ct))
+        assert np.max(np.abs(out[:8] - m @ vec)) < 5e-2
+
+    def test_dense_bsgs_matches_direct(self, evaluator, encoder, decryptor,
+                                       packed_ct):
+        vec, ct = packed_ct
+        rng = np.random.default_rng(3)
+        m = rng.uniform(-1, 1, (8, 8))
+        direct = LinearTransform(evaluator, encoder, m, use_bsgs=False)
+        bsgs = LinearTransform(evaluator, encoder, m, use_bsgs=True)
+        a = decrypt_real(encoder, decryptor, direct.apply(ct))
+        b = decrypt_real(encoder, decryptor, bsgs.apply(ct))
+        assert np.max(np.abs(a[:8] - b[:8])) < 1e-2
+
+    def test_permutation_matrix(self, evaluator, encoder, decryptor,
+                                packed_ct):
+        vec, ct = packed_ct
+        perm = np.roll(np.eye(8), -1, axis=1)
+        lt = LinearTransform(evaluator, encoder, perm)
+        out = decrypt_real(encoder, decryptor, lt.apply(ct))
+        assert np.max(np.abs(out[:8] - perm @ vec)) < 1e-2
+
+    def test_consumes_one_level(self, evaluator, encoder, packed_ct):
+        _, ct = packed_ct
+        lt = LinearTransform(evaluator, encoder, np.eye(8))
+        out = lt.apply(ct)
+        assert out.level == ct.level - 1
+
+    def test_rotation_count_bsgs_smaller(self, evaluator, encoder):
+        rng = np.random.default_rng(4)
+        m = rng.uniform(-1, 1, (64, 64))
+        direct = LinearTransform(evaluator, encoder, m, use_bsgs=False)
+        bsgs = LinearTransform(evaluator, encoder, m, use_bsgs=True)
+        assert bsgs.rotation_count() < direct.rotation_count()
+
+    def test_rejects_non_dividing_dimension(self, evaluator, encoder):
+        with pytest.raises(EvaluationError):
+            LinearTransform(evaluator, encoder, np.eye(7))
+
+    def test_reference_helper(self, evaluator, encoder):
+        m = np.eye(8) * 2
+        lt = LinearTransform(evaluator, encoder, m)
+        vec = np.arange(8, dtype=float)
+        ref = lt.reference(vec)
+        assert ref.shape[0] == encoder.slots
+        assert np.allclose(ref[:8], 2 * vec)

@@ -1,0 +1,71 @@
+"""Unit tests for the noise estimator."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.noise import NoiseEstimate, NoiseEstimator
+from tests.conftest import decrypt_real
+
+
+class TestNoiseEstimate:
+    def test_message_bits(self):
+        est = NoiseEstimate(magnitude=1.0, scale=2.0**26)
+        assert est.message_bits == pytest.approx(26.0)
+
+    def test_zero_noise_infinite_bits(self):
+        est = NoiseEstimate(magnitude=0.0, scale=2.0**26)
+        assert est.message_bits == float("inf")
+
+    def test_after_add_hypot(self):
+        a = NoiseEstimate(magnitude=3.0, scale=1.0)
+        b = NoiseEstimate(magnitude=4.0, scale=1.0)
+        assert a.after_add(b).magnitude == pytest.approx(5.0)
+
+    def test_scaled(self):
+        est = NoiseEstimate(magnitude=2.0, scale=1.0)
+        assert est.scaled(-3.0).magnitude == pytest.approx(6.0)
+
+
+class TestNoiseEstimator:
+    def test_fresh_bound_covers_measured(self, params, encoder, encryptor,
+                                         decryptor):
+        """The estimator's fresh bound must exceed measured error."""
+        estimator = NoiseEstimator(params)
+        est = estimator.fresh()
+        x = np.zeros(params.slot_count)
+        ct = encryptor.encrypt(encoder.encode(x))
+        measured = np.max(
+            np.abs(decrypt_real(encoder, decryptor, ct))
+        ) * params.scale
+        assert measured < est.magnitude
+
+    def test_fresh_bound_not_absurd(self, params):
+        """...but not so loose it predicts zero usable bits."""
+        est = NoiseEstimator(params).fresh()
+        assert est.message_bits > 5
+
+    def test_multiply_grows_noise(self, params):
+        estimator = NoiseEstimator(params)
+        fresh = estimator.fresh()
+        mult = estimator.after_multiply(fresh, fresh)
+        assert mult.magnitude > fresh.magnitude
+
+    def test_rescale_shrinks_noise(self, params):
+        estimator = NoiseEstimator(params)
+        fresh = estimator.fresh()
+        big = estimator.after_multiply(fresh, fresh)
+        rescaled = estimator.after_rescale(big, params.max_level)
+        assert rescaled.magnitude < big.magnitude
+        assert rescaled.scale < big.scale
+
+    def test_keyswitch_additive_positive(self, params):
+        estimator = NoiseEstimator(params)
+        add = estimator.keyswitch_additive(params.max_level)
+        assert add > 0
+        # More limbs -> more digit noise.
+        assert add > estimator.keyswitch_additive(0)
+
+    def test_depth_capacity_positive(self, params):
+        estimator = NoiseEstimator(params)
+        depth = estimator.depth_capacity()
+        assert 0 < depth <= params.max_level

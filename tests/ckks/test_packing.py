@@ -1,0 +1,94 @@
+"""Unit tests for slot-packing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ckks.packing import (
+    extract_slot,
+    interleave,
+    mask,
+    pad_vector,
+    packing_cost_ops,
+    replicate_slot0,
+    tile_vector,
+)
+from tests.conftest import decrypt_real
+
+
+class TestPlaintextLayouts:
+    def test_pad(self):
+        out = pad_vector([1, 2], 8)
+        assert out.tolist() == [1, 2, 0, 0, 0, 0, 0, 0]
+
+    def test_pad_overflow(self):
+        with pytest.raises(EvaluationError):
+            pad_vector([1] * 9, 8)
+
+    def test_tile(self):
+        out = tile_vector([1, 2], 8)
+        assert out.tolist() == [1, 2, 1, 2, 1, 2, 1, 2]
+
+    def test_tile_non_dividing(self):
+        with pytest.raises(EvaluationError):
+            tile_vector([1, 2, 3], 8)
+
+    def test_interleave(self):
+        out = interleave([[1, 2], [10, 20]], 8)
+        assert out[:4].tolist() == [1, 10, 2, 20]
+        assert not np.any(out[4:])
+
+    def test_interleave_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            interleave([[1, 2], [1]], 8)
+
+
+@pytest.fixture(scope="module")
+def packed(params, encoder, encryptor):
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0.2, 1.0, params.slot_count)
+    return x, encryptor.encrypt(encoder.encode(x))
+
+
+class TestHomomorphicLayouts:
+    def test_mask_keeps_selected(self, evaluator, encoder, decryptor,
+                                 packed):
+        x, ct = packed
+        out = decrypt_real(
+            encoder, decryptor, mask(evaluator, encoder, ct, [0, 3])
+        )
+        assert abs(out[0] - x[0]) < 1e-2
+        assert abs(out[3] - x[3]) < 1e-2
+        assert np.max(np.abs(out[[1, 2, 4, 5]])) < 1e-2
+
+    def test_mask_rejects_out_of_range(self, params, evaluator, encoder,
+                                       packed):
+        _, ct = packed
+        with pytest.raises(EvaluationError):
+            mask(evaluator, encoder, ct, [params.slot_count])
+
+    def test_replicate_slot0(self, evaluator, encoder, decryptor, packed):
+        x, ct = packed
+        isolated = mask(evaluator, encoder, ct, [0])
+        wide = replicate_slot0(evaluator, isolated, 8)
+        out = decrypt_real(encoder, decryptor, wide)
+        assert np.max(np.abs(out[:8] - x[0])) < 5e-2
+
+    def test_replicate_width_power_of_two(self, evaluator, packed):
+        _, ct = packed
+        with pytest.raises(EvaluationError):
+            replicate_slot0(evaluator, ct, 6)
+
+    def test_extract_slot(self, evaluator, encoder, decryptor, packed):
+        x, ct = packed
+        out_ct = extract_slot(evaluator, encoder, ct, 5,
+                              broadcast_width=4)
+        out = decrypt_real(encoder, decryptor, out_ct)
+        assert np.max(np.abs(out[:4] - x[5])) < 5e-2
+
+
+class TestCostCompanion:
+    def test_counts(self):
+        costs = packing_cost_ops(8)
+        assert costs["Rotation"] == 4  # 1 align + log2(8) broadcast
+        assert costs["PMult"] == 1

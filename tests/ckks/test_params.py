@@ -1,0 +1,106 @@
+"""Unit tests for CKKS parameter sets."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ckks.params import CkksParameters
+
+
+class TestDefaultFactory:
+    def test_basic(self):
+        p = CkksParameters.default(degree=128, levels=3)
+        assert p.degree == 128
+        assert len(p.chain_moduli) == 3
+        assert len(p.aux_moduli) == 1
+        assert p.slot_count == 64
+        assert p.max_level == 2
+
+    def test_all_primes_ntt_friendly(self):
+        p = CkksParameters.default(degree=128, levels=4, aux_count=2)
+        for q in p.chain_moduli + p.aux_moduli:
+            assert q % (2 * p.degree) == 1
+
+    def test_chain_and_aux_disjoint_bits(self):
+        p = CkksParameters.default(degree=128, levels=3)
+        assert all(q.bit_length() == 30 for q in p.chain_moduli)
+        assert all(q.bit_length() == 31 for q in p.aux_moduli)
+
+    def test_scale(self):
+        p = CkksParameters.default(degree=128, levels=3, scale_bits=20)
+        assert p.scale == float(1 << 20)
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        p = CkksParameters.default(degree=128, levels=3)
+        return dict(
+            degree=p.degree,
+            chain_moduli=p.chain_moduli,
+            aux_moduli=p.aux_moduli,
+            scale=p.scale,
+        )
+
+    def test_rejects_non_power_degree(self):
+        kwargs = self._base_kwargs()
+        kwargs["degree"] = 100
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs)
+
+    def test_rejects_empty_chain(self):
+        kwargs = self._base_kwargs()
+        kwargs["chain_moduli"] = ()
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs)
+
+    def test_rejects_missing_aux(self):
+        kwargs = self._base_kwargs()
+        kwargs["aux_moduli"] = ()
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs)
+
+    def test_rejects_overlapping_bases(self):
+        kwargs = self._base_kwargs()
+        kwargs["aux_moduli"] = kwargs["chain_moduli"][:1]
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs)
+
+    def test_rejects_tiny_scale(self):
+        kwargs = self._base_kwargs()
+        kwargs["scale"] = 1.0
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs)
+
+    def test_rejects_bad_hamming_weight(self):
+        kwargs = self._base_kwargs()
+        with pytest.raises(ParameterError):
+            CkksParameters(**kwargs, secret_hamming_weight=129)
+
+
+class TestContexts:
+    @pytest.fixture(scope="class")
+    def p(self):
+        return CkksParameters.default(degree=128, levels=4, aux_count=2)
+
+    def test_context_chain(self, p):
+        assert p.context.moduli == p.chain_moduli
+        assert p.aux_context.moduli == p.aux_moduli
+        assert p.key_context.moduli == p.chain_moduli + p.aux_moduli
+
+    def test_context_at_level(self, p):
+        assert p.context_at_level(0).moduli == p.chain_moduli[:1]
+        assert p.context_at_level(3).moduli == p.chain_moduli
+        with pytest.raises(ParameterError):
+            p.context_at_level(4)
+
+    def test_key_context_at_level(self, p):
+        ctx = p.key_context_at_level(1)
+        assert ctx.moduli == p.chain_moduli[:2] + p.aux_moduli
+
+    def test_aux_product(self, p):
+        expected = 1
+        for q in p.aux_moduli:
+            expected *= q
+        assert p.aux_product == expected
+
+    def test_contexts_cached(self, p):
+        assert p.context is p.context

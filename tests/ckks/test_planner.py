@@ -1,0 +1,90 @@
+"""Unit tests for the level/bootstrap planner."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ckks.planner import (
+    BootstrapPlan,
+    LevelPlanner,
+    Stage,
+    uniform_stages,
+)
+
+
+class TestStage:
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            Stage("x", -1)
+
+    def test_zero_cost_allowed(self):
+        assert Stage("free", 0).levels == 0
+
+
+class TestLevelPlanner:
+    def test_no_bootstrap_when_chain_suffices(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=10)
+        plan = planner.plan(uniform_stages(3, 4))
+        assert plan.bootstrap_count == 0
+        assert plan.final_level == 20 - 12
+
+    def test_lazy_insertion(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=10, reserve=1)
+        # refreshed level = 10; stages of 4 need 5 with reserve.
+        plan = planner.plan(uniform_stages(6, 4))
+        # 20 -> after 3 stages level 8 -> too low for 4th: bootstrap.
+        assert plan.bootstrap_count >= 1
+        first_boot = plan.bootstraps()[0]
+        assert first_boot.level_after == 10
+        # Every stage ran with at least `reserve` levels to spare.
+        for entry in plan.stages():
+            assert entry.level_after >= 0
+
+    def test_counts_match_lstm_style(self):
+        """Per-step refreshes: shallow chain + 4-level steps."""
+        planner = LevelPlanner(top_level=24, bootstrap_depth=14, reserve=1)
+        plan = planner.plan(uniform_stages(50, 4))
+        # refreshed level 10 -> 2 steps per refresh after warmup.
+        assert 20 <= plan.bootstrap_count <= 30
+
+    def test_oversized_stage_rejected(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=15)
+        with pytest.raises(WorkloadError):
+            planner.plan([Stage("huge", 10)])
+
+    def test_bootstrap_depth_must_fit(self):
+        with pytest.raises(WorkloadError):
+            LevelPlanner(top_level=10, bootstrap_depth=10)
+
+    def test_start_level_override(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=10)
+        plan = planner.plan(uniform_stages(1, 2), start_level=2)
+        # 2 levels < 2 + reserve -> immediate bootstrap.
+        assert plan.bootstrap_count == 1
+        assert plan.entries[0].kind == "bootstrap"
+
+    def test_minimum_bootstraps_shortcut(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=10)
+        stages = uniform_stages(10, 3)
+        assert planner.minimum_bootstraps(stages) == (
+            planner.plan(stages).bootstrap_count
+        )
+
+    def test_plan_entry_consistency(self):
+        planner = LevelPlanner(top_level=20, bootstrap_depth=12)
+        plan = planner.plan(uniform_stages(8, 2))
+        prev_after = None
+        for entry in plan.entries:
+            if prev_after is not None:
+                assert entry.level_before == prev_after
+            prev_after = entry.level_after
+
+
+class TestPaperBudgets:
+    def test_helr_two_bootstraps(self):
+        """LR: L=38 start, 7 levels/iteration, 10 iterations — the
+        paper's budget of 2 bootstraps is achievable."""
+        planner = LevelPlanner(top_level=38, bootstrap_depth=14, reserve=0)
+        plan = planner.plan(
+            uniform_stages(10, 7, prefix="iter"), start_level=38
+        )
+        assert plan.bootstrap_count == 2

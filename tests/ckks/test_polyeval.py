@@ -1,0 +1,98 @@
+"""Unit tests for homomorphic polynomial evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.ckks.polyeval import (
+    evaluate_horner,
+    evaluate_power_basis,
+    polynomial_depth_horner,
+    polynomial_depth_power_basis,
+)
+from tests.conftest import decrypt_real
+
+
+@pytest.fixture(scope="module")
+def small_ct(encoder, encryptor):
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-0.8, 0.8, encoder.slots)
+    return x, encryptor.encrypt(encoder.encode(x))
+
+
+def poly_ref(x, coeffs):
+    acc = np.zeros_like(x, dtype=complex)
+    for j, c in enumerate(coeffs):
+        acc += c * x**j
+    return acc.real
+
+
+class TestHorner:
+    def test_linear(self, evaluator, encoder, decryptor, small_ct):
+        x, ct = small_ct
+        coeffs = [0.25, -0.5]
+        out = decrypt_real(
+            encoder, decryptor,
+            evaluate_horner(evaluator, encoder, ct, coeffs),
+        )
+        assert np.max(np.abs(out - poly_ref(x, coeffs))) < 5e-2
+
+    def test_cubic_sigmoid(self, evaluator, encoder, decryptor, small_ct):
+        """HELR's sigmoid surrogate: 0.5 + 0.15x - 0.0015x^3."""
+        x, ct = small_ct
+        coeffs = [0.5, 0.15, 0.0, -0.0015]
+        out = decrypt_real(
+            encoder, decryptor,
+            evaluate_horner(evaluator, encoder, ct, coeffs),
+        )
+        assert np.max(np.abs(out - poly_ref(x, coeffs))) < 5e-2
+
+    def test_rejects_constant(self, evaluator, encoder, small_ct):
+        _, ct = small_ct
+        with pytest.raises(EvaluationError):
+            evaluate_horner(evaluator, encoder, ct, [1.0])
+
+    def test_depth_accounting(self, params, evaluator, encoder, small_ct):
+        _, ct = small_ct
+        coeffs = [0.1, 0.2, 0.3]
+        out = evaluate_horner(evaluator, encoder, ct, coeffs)
+        assert ct.level - out.level == polynomial_depth_horner(2)
+
+
+class TestPowerBasis:
+    def test_matches_horner(self, evaluator, encoder, decryptor, small_ct):
+        x, ct = small_ct
+        coeffs = [0.3, -0.2, 0.1, 0.05]
+        h = decrypt_real(
+            encoder, decryptor,
+            evaluate_horner(evaluator, encoder, ct, coeffs),
+        )
+        p = decrypt_real(
+            encoder, decryptor,
+            evaluate_power_basis(evaluator, encoder, ct, coeffs),
+        )
+        assert np.max(np.abs(h - p)) < 5e-2
+
+    def test_sparse_polynomial(self, evaluator, encoder, decryptor,
+                               small_ct):
+        """Odd polynomial (x and x^3 only) — LSTM's activation shape."""
+        x, ct = small_ct
+        coeffs = [0.0, 0.25, 0.0, -0.02]
+        out = decrypt_real(
+            encoder, decryptor,
+            evaluate_power_basis(evaluator, encoder, ct, coeffs),
+        )
+        assert np.max(np.abs(out - poly_ref(x, coeffs))) < 5e-2
+
+    def test_shallower_than_horner_for_high_degree(self):
+        assert polynomial_depth_power_basis(8) < polynomial_depth_horner(8)
+
+    def test_complex_coefficients(self, evaluator, encoder, decryptor,
+                                  small_ct):
+        """EvalMod-style complex Taylor coefficients work too."""
+        x, ct = small_ct
+        coeffs = [0.0, 0.5j, -0.1]
+        out_ct = evaluate_power_basis(evaluator, encoder, ct, coeffs)
+        decoded = encoder.decode(decryptor.decrypt(out_ct))
+        expected = 0.5j * x - 0.1 * x**2
+        assert np.max(np.abs(decoded - expected)) < 5e-2

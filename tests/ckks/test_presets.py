@@ -1,0 +1,59 @@
+"""Unit tests for the parameter presets."""
+
+import pytest
+
+from repro.ckks.presets import (
+    PAPER_SCALES,
+    bootstrap_capable,
+    demo,
+    toy,
+)
+
+
+class TestFunctionalPresets:
+    def test_toy_matches_test_fixtures(self, params):
+        assert toy().degree == params.degree
+        assert len(toy().chain_moduli) == len(params.chain_moduli)
+
+    def test_demo_larger(self):
+        assert demo().degree > toy().degree
+        assert demo().max_level > toy().max_level
+
+    def test_bootstrap_capable_consistent(self):
+        params, config = bootstrap_capable()
+        assert params.max_level >= config.total_depth
+        assert params.secret_hamming_weight > 0
+        # Scale tracks the prime size (the EvalMod algebra needs it).
+        assert abs(params.scale - 2.0**30) < 1.0
+
+    def test_bootstrap_capable_actually_constructs(self):
+        from repro.ckks import CkksEncoder, CkksEvaluator, KeyChain
+        from repro.ckks.bootstrap import Bootstrapper
+
+        params, config = bootstrap_capable()
+        keys = KeyChain.generate(params, seed=0)
+        ev = CkksEvaluator(params, keys)
+        Bootstrapper(params, ev, CkksEncoder(params), config)
+
+
+class TestPaperScales:
+    def test_four_benchmarks(self):
+        assert set(PAPER_SCALES) == {
+            "LR", "LSTM", "ResNet-20", "Packed Bootstrapping"
+        }
+
+    def test_degrees_match_paper(self):
+        for preset in PAPER_SCALES.values():
+            assert preset.degree == 1 << 16
+            assert preset.aux_limbs == 4
+
+    def test_kwargs_accepted_by_builders(self):
+        """The preset kwargs drive the actual trace builders."""
+        from repro.workloads import PAPER_BENCHMARKS
+
+        for name, preset in PAPER_SCALES.items():
+            builder = PAPER_BENCHMARKS[name]
+            kwargs = preset.as_kwargs()
+            kwargs["degree"] = 1 << 12  # scaled for test speed
+            trace = builder(**kwargs)
+            assert len(trace) > 0

@@ -1,0 +1,148 @@
+"""Property-based tests of the scheme's homomorphism laws.
+
+Hypothesis drives random slot vectors and operation sequences through
+the evaluator; decryption must track the plaintext computation within
+CKKS tolerance. Uses small vectors padded into the session fixtures'
+parameter set to keep each example fast.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+SLOT_TOL = 5e-2
+
+finite_floats = st.floats(
+    min_value=-1.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+vectors = st.lists(finite_floats, min_size=1, max_size=8)
+
+# The session-scoped fixtures are expensive; suppress the corresponding
+# health check rather than regenerate keys per example.
+relaxed = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def pad(values, slots):
+    out = np.zeros(slots)
+    out[: len(values)] = values
+    return out
+
+
+def roundtrip(encoder, decryptor, ct, count):
+    return encoder.decode(decryptor.decrypt(ct)).real[:count]
+
+
+class TestAdditiveHomomorphism:
+    @given(vectors, vectors)
+    @relaxed
+    def test_add(self, params, encoder, encryptor, decryptor, evaluator,
+                 xs, ys):
+        n = max(len(xs), len(ys))
+        x = pad(xs, params.slot_count)
+        y = pad(ys, params.slot_count)
+        ct = evaluator.add(
+            encryptor.encrypt(encoder.encode(x)),
+            encryptor.encrypt(encoder.encode(y)),
+        )
+        got = roundtrip(encoder, decryptor, ct, n)
+        assert np.max(np.abs(got - (x + y)[:n])) < SLOT_TOL
+
+    @given(vectors)
+    @relaxed
+    def test_add_inverse(self, params, encoder, encryptor, decryptor,
+                         evaluator, xs):
+        """x + (-x) decrypts to ~0."""
+        x = pad(xs, params.slot_count)
+        ct = encryptor.encrypt(encoder.encode(x))
+        zero = evaluator.add(ct, evaluator.negate(ct))
+        got = roundtrip(encoder, decryptor, zero, len(xs))
+        assert np.max(np.abs(got)) < SLOT_TOL
+
+    @given(vectors, vectors)
+    @relaxed
+    def test_add_commutes(self, params, encoder, encryptor, decryptor,
+                          evaluator, xs, ys):
+        x = pad(xs, params.slot_count)
+        y = pad(ys, params.slot_count)
+        a = encryptor.encrypt(encoder.encode(x))
+        b = encryptor.encrypt(encoder.encode(y))
+        ab = roundtrip(encoder, decryptor, evaluator.add(a, b), 4)
+        ba = roundtrip(encoder, decryptor, evaluator.add(b, a), 4)
+        assert np.max(np.abs(ab - ba)) < 1e-6
+
+
+class TestMultiplicativeHomomorphism:
+    @given(vectors, vectors)
+    @relaxed
+    def test_cmult(self, params, encoder, encryptor, decryptor, evaluator,
+                   xs, ys):
+        n = max(len(xs), len(ys))
+        x = pad(xs, params.slot_count)
+        y = pad(ys, params.slot_count)
+        ct = evaluator.multiply_and_rescale(
+            encryptor.encrypt(encoder.encode(x)),
+            encryptor.encrypt(encoder.encode(y)),
+        )
+        got = roundtrip(encoder, decryptor, ct, n)
+        assert np.max(np.abs(got - (x * y)[:n])) < SLOT_TOL
+
+    @given(vectors)
+    @relaxed
+    def test_mult_by_zero(self, params, encoder, encryptor, decryptor,
+                          evaluator, xs):
+        x = pad(xs, params.slot_count)
+        zero = np.zeros(params.slot_count)
+        ct = evaluator.multiply_and_rescale(
+            encryptor.encrypt(encoder.encode(x)),
+            encryptor.encrypt(encoder.encode(zero)),
+        )
+        got = roundtrip(encoder, decryptor, ct, len(xs))
+        assert np.max(np.abs(got)) < SLOT_TOL
+
+    @given(vectors)
+    @relaxed
+    def test_distributivity(self, params, encoder, encryptor, decryptor,
+                            evaluator, xs):
+        """x*(x + x) == x*x + x*x within tolerance."""
+        x = pad(xs, params.slot_count)
+        ct = encryptor.encrypt(encoder.encode(x))
+        double = evaluator.add(ct, ct)
+        left = evaluator.multiply_and_rescale(ct, double)
+        sq = evaluator.multiply_and_rescale(ct, ct)
+        right = evaluator.add(sq, sq)
+        l_vals = roundtrip(encoder, decryptor, left, len(xs))
+        r_vals = roundtrip(encoder, decryptor, right, len(xs))
+        assert np.max(np.abs(l_vals - r_vals)) < SLOT_TOL
+
+
+class TestRotationGroup:
+    @given(st.integers(1, 31), st.integers(1, 31))
+    @relaxed
+    def test_rotations_compose(self, params, encoder, encryptor, decryptor,
+                               evaluator, s1, s2):
+        rng = np.random.default_rng(s1 * 37 + s2)
+        x = rng.uniform(-1, 1, params.slot_count)
+        ct = encryptor.encrypt(encoder.encode(x))
+        via_two = evaluator.rotate(evaluator.rotate(ct, s1), s2)
+        direct = evaluator.rotate(ct, s1 + s2)
+        a = roundtrip(encoder, decryptor, via_two, 8)
+        b = roundtrip(encoder, decryptor, direct, 8)
+        assert np.max(np.abs(a - b)) < SLOT_TOL
+
+    @given(st.integers(1, 127))
+    @relaxed
+    def test_full_cycle(self, params, encoder, encryptor, decryptor,
+                        evaluator, steps):
+        """Rotating by k then slots-k returns the original vector."""
+        rng = np.random.default_rng(steps)
+        x = rng.uniform(-1, 1, params.slot_count)
+        ct = encryptor.encrypt(encoder.encode(x))
+        back = evaluator.rotate(
+            evaluator.rotate(ct, steps), params.slot_count - steps
+        )
+        got = roundtrip(encoder, decryptor, back, 8)
+        assert np.max(np.abs(got - x[:8])) < SLOT_TOL

@@ -1,0 +1,81 @@
+"""Unit tests for the security estimator."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ckks.params import CkksParameters
+from repro.ckks.security import (
+    estimate,
+    max_chain_length,
+    max_modulus_bits,
+    total_modulus_bits,
+)
+
+
+class TestStandardTable:
+    def test_exact_rows(self):
+        assert max_modulus_bits(1 << 13, 128) == 218
+        assert max_modulus_bits(1 << 15, 192) == 611
+
+    def test_monotone_in_degree(self):
+        prev = 0.0
+        for logn in range(10, 18):
+            cur = max_modulus_bits(1 << logn, 128)
+            assert cur > prev
+            prev = cur
+
+    def test_monotone_in_security(self):
+        for logn in (12, 14, 16):
+            n = 1 << logn
+            assert (
+                max_modulus_bits(n, 128)
+                > max_modulus_bits(n, 192)
+                > max_modulus_bits(n, 256)
+            )
+
+    def test_interpolation_between_rows(self):
+        """Non-power-of-table degrees interpolate sensibly."""
+        mid = max_modulus_bits(3 * (1 << 12), 128)  # between 2^13, 2^14
+        assert 218 < mid < 438
+
+    def test_extrapolation_beyond_table(self):
+        assert max_modulus_bits(1 << 18, 128) > max_modulus_bits(1 << 17, 128)
+
+    def test_tiny_degree_zero_budget(self):
+        assert max_modulus_bits(256, 128) == 0.0
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ParameterError):
+            max_modulus_bits(1 << 14, 100)
+
+
+class TestEstimate:
+    def test_total_bits(self):
+        params = CkksParameters.default(degree=1 << 12, levels=3)
+        bits = total_modulus_bits(params)
+        # 3 chain primes ~30 bits + 1 aux ~31 bits.
+        assert 119 < bits < 122
+
+    def test_secure_configuration(self):
+        params = CkksParameters.default(degree=1 << 13, levels=4)
+        result = estimate(params)
+        # ~151 bits total vs a 218-bit budget at 2^13.
+        assert result.is_standard_secure
+        assert result.achieved_level >= 128
+
+    def test_insecure_toy_configuration(self):
+        """Test-scale parameters are (knowingly) not secure."""
+        params = CkksParameters.default(degree=256, levels=4)
+        result = estimate(params)
+        assert not result.is_standard_secure
+
+    def test_paper_scale_chain(self):
+        """N = 2^16 admits the paper's L = 44-60 chain at 128-bit."""
+        l_max = max_chain_length(1 << 16, aux_count=4)
+        assert l_max >= 54
+
+    def test_chain_length_shrinks_with_security(self):
+        assert (
+            max_chain_length(1 << 15, security=256)
+            < max_chain_length(1 << 15, security=128)
+        )

@@ -1,0 +1,42 @@
+"""Unit tests for the FHE-operation IR."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+
+
+class TestFheOpName:
+    def test_from_label_roundtrip(self):
+        for member in FheOpName:
+            assert FheOpName.from_label(member.value) is member
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            FheOpName.from_label("Frobnicate")
+
+
+class TestFheOp:
+    def test_make_and_meta(self):
+        op = FheOp.make(FheOpName.ROTATION, 1 << 14, 10, steps=3, kind="x")
+        assert op.get_meta("steps") == 3
+        assert op.get_meta("kind") == "x"
+        assert op.get_meta("missing", 42) == 42
+
+    def test_limbs(self):
+        op = FheOp.make(FheOpName.HADD, 64, 5, aux_limbs=2)
+        assert op.limbs == 6
+        assert op.extended_limbs == 8
+
+    def test_hashable_and_equal(self):
+        a = FheOp.make(FheOpName.HADD, 64, 5)
+        b = FheOp.make(FheOpName.HADD, 64, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FheOp.make(FheOpName.HADD, 1, 0)
+        with pytest.raises(ValueError):
+            FheOp.make(FheOpName.HADD, 64, -1)
+        with pytest.raises(ValueError):
+            FheOp(FheOpName.HADD, 64, 0, aux_limbs=-1)

@@ -1,0 +1,56 @@
+"""Unit tests for whole-program task assembly."""
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.compiler.trace import TraceRecorder
+
+
+def make_ops():
+    return [
+        FheOp.make(FheOpName.HADD, 64, 3),
+        FheOp.make(FheOpName.PMULT, 64, 3),
+        FheOp.make(FheOpName.CMULT, 64, 3),
+    ]
+
+
+class TestCompileTrace:
+    def test_boundaries_partition_tasks(self):
+        program = compile_trace(make_ops())
+        assert len(program.op_boundaries) == 3
+        spans = program.op_boundaries
+        assert spans[0][0] == 0
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 == s2
+        assert spans[-1][1] == program.task_count
+
+    def test_tasks_for_op(self):
+        program = compile_trace(make_ops())
+        hadd_tasks = program.tasks_for_op(0)
+        assert all(t.op_label == "HAdd" for t in hadd_tasks)
+
+    def test_barrier_between_ops(self):
+        """Each op's entry tasks depend on the previous op's last task."""
+        program = compile_trace(make_ops())
+        for idx in range(1, 3):
+            start, end = program.op_boundaries[idx]
+            prev_last = start - 1
+            entry_deps = [
+                d for t in program.tasks[start:end] for d in t.depends_on
+            ]
+            assert prev_last in entry_deps
+
+    def test_dependencies_topological(self):
+        program = compile_trace(make_ops())
+        for i, task in enumerate(program.tasks):
+            assert all(0 <= d < i for d in task.depends_on)
+
+    def test_accepts_trace_recorder(self):
+        rec = TraceRecorder()
+        rec.emit(FheOpName.HADD, 64, 2, count=2)
+        program = compile_trace(rec)
+        assert len(program.source_ops) == 2
+
+    def test_empty_trace(self):
+        program = compile_trace([])
+        assert program.task_count == 0
+        assert program.op_boundaries == ()

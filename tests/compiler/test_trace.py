@@ -1,0 +1,71 @@
+"""Unit tests for trace recording (evaluator hook + direct emission)."""
+
+import pytest
+
+from repro.compiler.ops import FheOpName
+from repro.compiler.trace import TraceRecorder
+from repro.errors import WorkloadError
+
+
+class TestRecordHook:
+    def test_record_basic(self):
+        rec = TraceRecorder()
+        rec.record("HAdd", degree=64, level=3, kind="ct-ct")
+        assert len(rec) == 1
+        op = rec.ops[0]
+        assert op.name is FheOpName.HADD
+        assert op.degree == 64
+        assert op.level == 3
+        assert op.get_meta("kind") == "ct-ct"
+
+    def test_record_missing_metadata(self):
+        rec = TraceRecorder()
+        with pytest.raises(WorkloadError):
+            rec.record("HAdd", degree=64)
+
+    def test_record_unknown_op(self):
+        rec = TraceRecorder()
+        with pytest.raises(KeyError):
+            rec.record("Nonsense", degree=64, level=1)
+
+    def test_default_aux(self):
+        rec = TraceRecorder(default_aux_limbs=3)
+        rec.record("Keyswitch", degree=64, level=2)
+        assert rec.ops[0].aux_limbs == 3
+
+
+class TestEvaluatorIntegration:
+    def test_evaluator_emits_trace(self, params, keys, encoder, encryptor):
+        """A real evaluator run produces the expected op stream."""
+        from repro.ckks.evaluator import CkksEvaluator
+
+        rec = TraceRecorder()
+        ev = CkksEvaluator(params, keys, recorder=rec)
+        ct = encryptor.encrypt(encoder.encode([0.5]))
+        ct2 = ev.multiply_and_rescale(ct, ct)
+        _ = ev.rotate(ct2, 1)
+        hist = rec.op_histogram()
+        assert hist["CMult"] == 1
+        assert hist["Keyswitch"] == 2  # relin + rotation
+        assert hist["Rescale"] == 1
+        assert hist["Automorphism"] == 1
+
+
+class TestDirectEmission:
+    def test_emit_count(self):
+        rec = TraceRecorder()
+        rec.emit(FheOpName.PMULT, 64, 2, count=5)
+        assert len(rec) == 5
+
+    def test_histogram_and_clear(self):
+        rec = TraceRecorder()
+        rec.emit(FheOpName.HADD, 64, 1, count=2)
+        rec.emit(FheOpName.CMULT, 64, 1)
+        assert rec.op_histogram() == {"HAdd": 2, "CMult": 1}
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_iteration(self):
+        rec = TraceRecorder()
+        rec.emit(FheOpName.HADD, 64, 1, count=3)
+        assert len(list(rec)) == 3

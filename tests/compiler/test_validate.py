@@ -1,0 +1,77 @@
+"""Unit tests for trace validation."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.validate import (
+    count_refreshes,
+    level_profile,
+    validate_trace,
+)
+from repro.errors import WorkloadError
+from repro.workloads.helr import helr_trace
+
+
+class TestValidateTrace:
+    def test_valid_stream(self):
+        ops = [
+            FheOp.make(FheOpName.HADD, 64, 3),
+            FheOp.make(FheOpName.CMULT, 64, 3),
+            FheOp.make(FheOpName.RESCALE, 64, 3),
+        ]
+        report = validate_trace(ops, chain_top=4)
+        assert report.ok
+        assert report.op_count == 3
+        assert report.degree == 64
+        assert report.max_level == 3
+
+    def test_degree_mismatch_flagged(self):
+        ops = [
+            FheOp.make(FheOpName.HADD, 64, 3),
+            FheOp.make(FheOpName.HADD, 128, 3),
+        ]
+        report = validate_trace(ops)
+        assert not report.ok
+        assert "degree" in report.issues[0]
+
+    def test_level_above_chain_flagged(self):
+        ops = [FheOp.make(FheOpName.HADD, 64, 9)]
+        report = validate_trace(ops, chain_top=5)
+        assert not report.ok
+
+    def test_single_limb_rescale_flagged(self):
+        ops = [FheOp.make(FheOpName.RESCALE, 64, 0)]
+        report = validate_trace(ops)
+        assert not report.ok
+
+    def test_strict_raises(self):
+        ops = [FheOp.make(FheOpName.RESCALE, 64, 0)]
+        with pytest.raises(WorkloadError):
+            validate_trace(ops, strict=True)
+
+    def test_non_op_entry_flagged(self):
+        report = validate_trace(["nonsense"])
+        assert not report.ok
+
+    def test_accepts_trace_recorder(self):
+        trace = helr_trace(degree=1 << 12, iterations=2, bootstraps=1)
+        report = validate_trace(trace, chain_top=44)
+        assert report.ok, report.issues
+
+
+class TestProfiles:
+    def test_level_profile(self):
+        ops = [
+            FheOp.make(FheOpName.CMULT, 64, 3),
+            FheOp.make(FheOpName.RESCALE, 64, 3),
+            FheOp.make(FheOpName.HADD, 64, 2),
+        ]
+        assert level_profile(ops) == [3, 3, 2]
+
+    def test_refresh_counting_on_real_trace(self):
+        trace = helr_trace(degree=1 << 12, iterations=10, bootstraps=2)
+        assert count_refreshes(trace) == 2
+
+    def test_no_refreshes_in_flat_trace(self):
+        ops = [FheOp.make(FheOpName.HADD, 64, 3) for _ in range(5)]
+        assert count_refreshes(ops) == 0

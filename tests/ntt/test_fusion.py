@@ -1,0 +1,158 @@
+"""Unit tests for NTT-fusion: the fused kernel and its cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NTTError
+from repro.ntt.fusion import (
+    PAPER_TABLE_II,
+    FusedNtt,
+    FusionCostModel,
+    access_offsets,
+    bram_bank_of,
+)
+from repro.ntt.radix2 import intt_radix2, ntt_radix2
+from repro.ntt.tables import get_twiddle_table
+from repro.utils.primes import find_ntt_primes
+
+N = 64
+Q = find_ntt_primes(30, 1, N)[0]
+TABLE = get_twiddle_table(Q, N)
+
+
+def random_vec(seed=0, n=N, q=Q):
+    return np.random.default_rng(seed).integers(0, q, n, dtype=np.uint64)
+
+
+class TestFusedMatchesRadix2:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_forward_equal(self, k):
+        x = random_vec(k)
+        fused = FusedNtt(Q, N, k)
+        assert np.array_equal(fused.forward(x), ntt_radix2(x, TABLE))
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_inverse_equal(self, k):
+        x = random_vec(10 + k)
+        fused = FusedNtt(Q, N, k)
+        f = ntt_radix2(x, TABLE)
+        assert np.array_equal(fused.inverse(f), intt_radix2(f, TABLE))
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_roundtrip(self, k):
+        x = random_vec(20 + k)
+        fused = FusedNtt(Q, N, k)
+        assert np.array_equal(fused.inverse(fused.forward(x)), x)
+
+    def test_non_dividing_radix(self):
+        """log2(n) not divisible by k still works (remainder block)."""
+        n = 128  # log2 = 7, k = 3 leaves a radix-2 tail
+        q = find_ntt_primes(28, 1, n)[0]
+        fused = FusedNtt(q, n, 3)
+        table = get_twiddle_table(q, n)
+        x = random_vec(30, n, q)
+        assert np.array_equal(fused.forward(x), ntt_radix2(x, table))
+
+    def test_wide_unsafe_path(self):
+        """k = 6 exceeds the uint64 budget and uses the object path."""
+        q = find_ntt_primes(30, 1, N)[0]
+        fused = FusedNtt(q, N, 6)
+        assert not fused._wide_safe
+        x = random_vec(40)
+        assert np.array_equal(fused.forward(x), ntt_radix2(x, TABLE))
+
+    def test_rejects_wrong_shape(self):
+        fused = FusedNtt(Q, N, 3)
+        with pytest.raises(NTTError):
+            fused.forward(np.zeros(32, dtype=np.uint64))
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10)
+    def test_fused_equiv_property(self, seed):
+        x = random_vec(seed)
+        assert np.array_equal(
+            FusedNtt(Q, N, 3).forward(x), ntt_radix2(x, TABLE)
+        )
+
+
+class TestCostModel:
+    def test_paper_rows_attached(self):
+        for k in range(2, 7):
+            assert FusionCostModel(k).paper_row == PAPER_TABLE_II[k]
+        assert FusionCostModel(7).paper_row is None
+
+    def test_unfused_counts_match_paper(self):
+        """W and Mult/Add unfused columns match Table II exactly."""
+        for k, (w_unf, _, mult_unf, _) in PAPER_TABLE_II.items():
+            costs = FusionCostModel(k).costs()
+            assert costs.twiddles_unfused == w_unf
+            assert costs.mult_unfused == mult_unf
+
+    def test_k3_reduction_claim(self):
+        """Paper §IV-B.3: k=3 turns 24 modular reductions into 8."""
+        costs = FusionCostModel(3).costs()
+        assert costs.modred_unfused == 24
+        assert costs.modred_fused == 8
+
+    def test_fused_reductions_always_fewer(self):
+        for k in range(2, 7):
+            costs = FusionCostModel(k).costs()
+            assert costs.modred_fused < costs.modred_unfused
+
+    def test_fused_mults_always_more(self):
+        """The tradeoff: fusion buys reductions with extra multiplies."""
+        for k in range(2, 7):
+            costs = FusionCostModel(k).costs()
+            assert costs.mult_fused > costs.mult_unfused
+
+    def test_phases(self):
+        model = FusionCostModel(3)
+        assert model.phases(4096) == 4   # paper Table III: 12 -> 4
+        assert model.phases(1 << 16) == 6
+        assert FusionCostModel(1).phases(4096) == 12
+
+    def test_total_reductions(self):
+        model = FusionCostModel(3)
+        # 4096-point: unfused = n*log2(n), fused = n per full phase.
+        assert model.total_modular_reductions_unfused(4096) == 4096 * 12
+        assert model.total_modular_reductions(4096) == 4096 * 4
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(NTTError):
+            FusionCostModel(0)
+
+
+class TestAccessPattern:
+    def test_table3_offsets(self):
+        """Table III / Fig. 5: iteration strides 1, 8, 64 for k=3."""
+        assert access_offsets(4096, 3, 1).tolist() == list(range(8))
+        assert access_offsets(4096, 3, 2).tolist() == [
+            0, 8, 16, 24, 32, 40, 48, 56
+        ]
+        assert access_offsets(4096, 3, 3).tolist() == [
+            64 * i for i in range(8)
+        ]
+
+    def test_iteration_bounds(self):
+        with pytest.raises(NTTError):
+            access_offsets(4096, 3, 0)
+        with pytest.raises(NTTError):
+            access_offsets(4096, 3, 5)  # 8^4 * 8 > 4096
+
+    def test_bank_conflict_free(self):
+        """Any butterfly's operands land in 2^k distinct BRAM banks."""
+        n, k = 4096, 3
+        block = 1 << k
+        for iteration in (1, 2, 3, 4):
+            stride = 1 << (k * (iteration - 1))
+            # Check several butterflies across the array.
+            for start in range(0, n, max(1, n // 16)):
+                base = (start // (stride * block)) * stride * block + (
+                    start % stride
+                )
+                indices = [base + j * stride for j in range(block)]
+                if max(indices) >= n:
+                    continue
+                banks = {bram_bank_of(i, iteration, k) for i in indices}
+                assert len(banks) == block

@@ -1,0 +1,61 @@
+"""Direct tests of the O(n^2) reference NTT (the correctness oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NTTError
+from repro.ntt.reference import intt_reference, ntt_reference
+from repro.utils.primes import find_ntt_primes, find_primitive_root
+
+N = 16
+Q = find_ntt_primes(20, 1, N)[0]
+OMEGA = find_primitive_root(Q, N)
+
+
+class TestForward:
+    def test_dc_component(self):
+        """NTT of all-ones hits n at index 0 and 0 elsewhere."""
+        x = np.ones(N, dtype=np.uint64)
+        f = ntt_reference(x, OMEGA, Q)
+        assert f[0] == N
+        assert not np.any(f[1:])
+
+    def test_delta_transform(self):
+        """NTT of a delta at position 1 gives the omega powers."""
+        x = np.zeros(N, dtype=np.uint64)
+        x[1] = 1
+        f = ntt_reference(x, OMEGA, Q)
+        expected = [pow(OMEGA, k, Q) for k in range(N)]
+        assert f.astype(object).tolist() == expected
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(NTTError):
+            ntt_reference(np.zeros(12, dtype=np.uint64), OMEGA, Q)
+
+    def test_rejects_bad_root(self):
+        with pytest.raises(NTTError):
+            ntt_reference(np.zeros(N, dtype=np.uint64), 2, Q)
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, Q, N, dtype=np.uint64)
+        f = ntt_reference(x, OMEGA, Q)
+        assert np.array_equal(intt_reference(f, OMEGA, Q), x)
+
+    def test_cyclic_convolution(self):
+        """Hadamard in the reference transform = cyclic convolution."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        b = rng.integers(0, Q, N, dtype=np.uint64)
+        fa = ntt_reference(a, OMEGA, Q)
+        fb = ntt_reference(b, OMEGA, Q)
+        prod = intt_reference((fa * fb) % np.uint64(Q), OMEGA, Q)
+        ref = [0] * N
+        for i in range(N):
+            for j in range(N):
+                ref[(i + j) % N] = (
+                    ref[(i + j) % N] + int(a[i]) * int(b[j])
+                ) % Q
+        assert prod.astype(object).tolist() == ref

@@ -1,0 +1,97 @@
+"""Property tests: R_Q = Z_Q[x]/(x^n + 1) really is a ring.
+
+The negacyclic product built from NTT/hadamard/INTT must satisfy the
+ring axioms on random elements — commutativity, associativity,
+distributivity, and the identity/annihilator laws. These are the
+algebraic facts every higher layer (keyswitching, bootstrapping)
+silently relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntt.negacyclic import poly_multiply
+from repro.rns.context import RnsContext
+from repro.rns.poly import RnsPolynomial
+from repro.utils.primes import find_ntt_primes
+
+N = 64
+PRIMES = find_ntt_primes(30, 2, N)
+CTX = RnsContext(PRIMES)
+
+
+def rand_poly(seed: int) -> RnsPolynomial:
+    rng = np.random.default_rng(seed)
+    data = np.stack(
+        [rng.integers(0, q, N, dtype=np.uint64) for q in CTX.moduli]
+    )
+    from repro.rns.poly import Domain
+
+    return RnsPolynomial(data, CTX, Domain.COEFFICIENT)
+
+
+ONE = RnsPolynomial.constant(1, N, CTX)
+ZERO = RnsPolynomial.zeros(N, CTX)
+
+
+class TestMultiplicativeStructure:
+    @given(st.integers(0, 2**31), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_commutative(self, s1, s2):
+        a, b = rand_poly(s1), rand_poly(s2)
+        assert poly_multiply(a, b) == poly_multiply(b, a)
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31),
+           st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_associative(self, s1, s2, s3):
+        a, b, c = rand_poly(s1), rand_poly(s2), rand_poly(s3)
+        left = poly_multiply(poly_multiply(a, b), c)
+        right = poly_multiply(a, poly_multiply(b, c))
+        assert left == right
+
+    @given(st.integers(0, 2**31), st.integers(0, 2**31),
+           st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_distributive(self, s1, s2, s3):
+        a, b, c = rand_poly(s1), rand_poly(s2), rand_poly(s3)
+        left = poly_multiply(a, b + c)
+        right = poly_multiply(a, b) + poly_multiply(a, c)
+        assert left == right
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_identity(self, seed):
+        a = rand_poly(seed)
+        assert poly_multiply(a, ONE) == a
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_annihilator(self, seed):
+        a = rand_poly(seed)
+        assert poly_multiply(a, ZERO) == ZERO
+
+
+class TestNegacyclicStructure:
+    def test_x_to_the_n_is_minus_one(self):
+        """x^(n/2) * x^(n/2) = x^n = -1 in the negacyclic ring."""
+        half = [0] * N
+        half[N // 2] = 1
+        x_half = RnsPolynomial.from_integers(half, CTX)
+        product = poly_multiply(x_half, x_half)
+        assert product.to_integers() == [-1] + [0] * (N - 1)
+
+    @given(st.integers(1, N - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_monomial_products(self, k):
+        """x^k * x^(n-k) = x^n = -1 for every split."""
+        mk = [0] * N
+        mk[k] = 1
+        mnk = [0] * N
+        mnk[N - k] = 1
+        product = poly_multiply(
+            RnsPolynomial.from_integers(mk, CTX),
+            RnsPolynomial.from_integers(mnk, CTX),
+        )
+        assert product.to_integers() == [-1] + [0] * (N - 1)

@@ -1,0 +1,82 @@
+"""Unit and property tests for Barrett reduction (the SBT operator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RNSError
+from repro.rns.barrett import GLOBAL_SBT_BANK, BarrettReducer, SharedBarrettBank
+
+Q = 1073741441
+
+
+class TestReduceScalar:
+    def test_small_values(self):
+        r = BarrettReducer(Q)
+        for x in (0, 1, Q - 1, Q, Q + 1, 2 * Q + 5):
+            assert r.reduce_scalar(x) == x % Q
+
+    def test_near_q_squared(self):
+        r = BarrettReducer(Q)
+        x = Q * Q - 1
+        assert r.reduce_scalar(x) == x % Q
+
+    def test_rejects_out_of_range(self):
+        r = BarrettReducer(Q)
+        with pytest.raises(RNSError):
+            r.reduce_scalar(Q * Q)
+        with pytest.raises(RNSError):
+            r.reduce_scalar(-1)
+
+    @given(st.integers(0, Q * Q - 1))
+    @settings(max_examples=200)
+    def test_matches_mod(self, x):
+        assert BarrettReducer(Q).reduce_scalar(x) == x % Q
+
+
+class TestReduceVectorized:
+    def test_products(self):
+        r = BarrettReducer(Q)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, Q, 1000, dtype=np.uint64)
+        b = rng.integers(0, Q, 1000, dtype=np.uint64)
+        got = r.mul_mod(a, b)
+        for i in range(0, 1000, 37):
+            assert int(got[i]) == int(a[i]) * int(b[i]) % Q
+
+    def test_extreme_operands(self):
+        r = BarrettReducer(Q)
+        a = np.array([Q - 1, Q - 1, 0, 1], dtype=np.uint64)
+        b = np.array([Q - 1, 1, Q - 1, 1], dtype=np.uint64)
+        got = r.mul_mod(a, b)
+        expected = [(Q - 1) * (Q - 1) % Q, Q - 1, 0, 1]
+        assert got.astype(object).tolist() == expected
+
+    def test_matches_scalar_path(self):
+        r = BarrettReducer(Q)
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, Q, 64, dtype=np.uint64)
+        b = rng.integers(0, Q, 64, dtype=np.uint64)
+        vec = r.reduce(a * b)
+        for i in range(64):
+            assert int(vec[i]) == r.reduce_scalar(int(a[i]) * int(b[i]))
+
+
+class TestSharedBank:
+    def test_reuse(self):
+        bank = SharedBarrettBank()
+        r1 = bank.get(Q)
+        r2 = bank.get(Q)
+        assert r1 is r2
+        assert len(bank) == 1
+        assert Q in bank
+
+    def test_multiple_moduli(self):
+        bank = SharedBarrettBank()
+        bank.get(Q)
+        bank.get(536870909)
+        assert len(bank) == 2
+
+    def test_global_bank_shared(self):
+        r = GLOBAL_SBT_BANK.get(Q)
+        assert GLOBAL_SBT_BANK.get(Q) is r

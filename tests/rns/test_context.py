@@ -1,0 +1,117 @@
+"""Unit tests for the RNS context and CRT reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RNSError
+from repro.rns.context import RnsContext
+from repro.utils.primes import find_ntt_primes
+
+PRIMES = find_ntt_primes(30, 4, 64)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return RnsContext(PRIMES)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(RNSError):
+            RnsContext([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(RNSError):
+            RnsContext([PRIMES[0], PRIMES[0]])
+
+    def test_rejects_oversize_modulus(self):
+        with pytest.raises(RNSError):
+            RnsContext([1 << 32])
+
+    def test_equality_and_hash(self, ctx):
+        other = RnsContext(PRIMES)
+        assert ctx == other
+        assert hash(ctx) == hash(other)
+        assert ctx != RnsContext(PRIMES[:2])
+
+
+class TestCrtConstants:
+    def test_modulus_product(self, ctx):
+        expected = 1
+        for q in PRIMES:
+            expected *= q
+        assert ctx.modulus_product == expected
+
+    def test_punctured_products(self, ctx):
+        for q, q_hat in zip(ctx.moduli, ctx.punctured_products):
+            assert q_hat * q == ctx.modulus_product
+
+    def test_punctured_inverses(self, ctx):
+        for q, q_hat, inv in zip(
+            ctx.moduli, ctx.punctured_products, ctx.punctured_inverses
+        ):
+            assert (q_hat % q) * inv % q == 1
+
+    def test_pairwise_inverse(self, ctx):
+        inv = ctx.pairwise_inverse(0, 1)
+        assert ctx.moduli[0] * inv % ctx.moduli[1] == 1
+
+    def test_pairwise_self_rejected(self, ctx):
+        with pytest.raises(RNSError):
+            ctx.pairwise_inverse(1, 1)
+
+    def test_last_limb_inverses(self, ctx):
+        last = ctx.moduli[-1]
+        for j, inv in enumerate(ctx.last_limb_inverses):
+            assert last * inv % ctx.moduli[j] == 1
+
+
+class TestRoundtrip:
+    def test_signed_roundtrip(self, ctx):
+        values = [0, 1, -1, 123456789, -987654321, 2**60, -(2**60)]
+        rns = ctx.to_rns(values)
+        assert rns.shape == (4, len(values))
+        back = ctx.from_rns(rns)
+        assert back == values
+
+    def test_unsigned_roundtrip(self, ctx):
+        values = [5, 7]
+        back = ctx.from_rns(ctx.to_rns(values), signed=False)
+        assert back == values
+
+    def test_shape_validation(self, ctx):
+        with pytest.raises(RNSError):
+            ctx.from_rns(np.zeros((2, 4), dtype=np.uint64))
+
+    @given(st.lists(st.integers(-(2**80), 2**80), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        ctx = RnsContext(PRIMES)
+        half = ctx.modulus_product // 2
+        values = [v for v in values if -half < v <= half]
+        if not values:
+            return
+        assert ctx.from_rns(ctx.to_rns(values)) == values
+
+
+class TestBasisManipulation:
+    def test_drop_last(self, ctx):
+        dropped = ctx.drop_last()
+        assert dropped.moduli == ctx.moduli[:-1]
+
+    def test_drop_last_single_rejected(self):
+        with pytest.raises(RNSError):
+            RnsContext(PRIMES[:1]).drop_last()
+
+    def test_first(self, ctx):
+        assert ctx.first(2).moduli == ctx.moduli[:2]
+        with pytest.raises(RNSError):
+            ctx.first(0)
+        with pytest.raises(RNSError):
+            ctx.first(5)
+
+    def test_extend(self, ctx):
+        extra = find_ntt_primes(31, 1, 64)
+        ext = ctx.extend(extra)
+        assert ext.moduli == ctx.moduli + tuple(extra)

@@ -1,0 +1,136 @@
+"""Unit tests for RNS polynomials."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RNSError
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+from repro.utils.primes import find_ntt_primes
+
+N = 64
+PRIMES = find_ntt_primes(30, 3, N)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return RnsContext(PRIMES)
+
+
+def random_poly(ctx, seed=0):
+    rng = np.random.default_rng(seed)
+    data = np.stack(
+        [rng.integers(0, q, N, dtype=np.uint64) for q in ctx.moduli]
+    )
+    return RnsPolynomial(data, ctx, Domain.COEFFICIENT)
+
+
+class TestConstruction:
+    def test_zeros(self, ctx):
+        z = RnsPolynomial.zeros(N, ctx)
+        assert z.degree == N
+        assert z.level_count == 3
+        assert not np.any(z.data)
+
+    def test_constant(self, ctx):
+        c = RnsPolynomial.constant(42, N, ctx)
+        assert c.to_integers()[0] == 42
+        assert all(v == 0 for v in c.to_integers()[1:])
+
+    def test_rejects_wrong_rows(self, ctx):
+        with pytest.raises(RNSError):
+            RnsPolynomial(np.zeros((2, N), dtype=np.uint64), ctx,
+                          Domain.COEFFICIENT)
+
+    def test_rejects_non_power_degree(self, ctx):
+        with pytest.raises(RNSError):
+            RnsPolynomial(np.zeros((3, 63), dtype=np.uint64), ctx,
+                          Domain.COEFFICIENT)
+
+    def test_rejects_1d(self, ctx):
+        with pytest.raises(RNSError):
+            RnsPolynomial(np.zeros(N, dtype=np.uint64), ctx,
+                          Domain.COEFFICIENT)
+
+
+class TestArithmetic:
+    def test_add_matches_integers(self, ctx):
+        vals_a = list(range(-10, N - 10))
+        vals_b = [3 * v + 1 for v in range(N)]
+        a = RnsPolynomial.from_integers(vals_a, ctx)
+        b = RnsPolynomial.from_integers(vals_b, ctx)
+        got = (a + b).to_integers()
+        assert got == [x + y for x, y in zip(vals_a, vals_b)]
+
+    def test_sub_and_neg(self, ctx):
+        a = random_poly(ctx, 1)
+        b = random_poly(ctx, 2)
+        assert (a - b) == (a + (-b))
+
+    def test_scalar_mul(self, ctx):
+        vals = list(range(N))
+        a = RnsPolynomial.from_integers(vals, ctx)
+        got = a.scalar_mul(7).to_integers()
+        assert got == [7 * v for v in vals]
+
+    def test_scalar_mul_per_limb(self, ctx):
+        a = random_poly(ctx, 3)
+        scalars = [2, 3, 5]
+        out = a.scalar_mul_per_limb(scalars)
+        for i, (q, s) in enumerate(zip(ctx.moduli, scalars)):
+            expected = (a.data[i].astype(object) * s) % q
+            assert out.data[i].astype(object).tolist() == expected.tolist()
+
+    def test_scalar_per_limb_wrong_count(self, ctx):
+        with pytest.raises(RNSError):
+            random_poly(ctx).scalar_mul_per_limb([1, 2])
+
+    def test_hadamard_columnwise(self, ctx):
+        a = random_poly(ctx, 4)
+        b = random_poly(ctx, 5)
+        h = a.hadamard(b)
+        for i, q in enumerate(ctx.moduli):
+            expected = (
+                a.data[i].astype(object) * b.data[i].astype(object)
+            ) % q
+            assert h.data[i].astype(object).tolist() == expected.tolist()
+
+    def test_mismatched_context_rejected(self, ctx):
+        other = RnsContext(PRIMES[:2])
+        a = random_poly(ctx)
+        b = RnsPolynomial.zeros(N, other)
+        with pytest.raises(RNSError):
+            _ = a + b
+
+    def test_mismatched_domain_rejected(self, ctx):
+        a = random_poly(ctx)
+        b = random_poly(ctx).with_domain(Domain.NTT)
+        with pytest.raises(RNSError):
+            _ = a + b
+
+    def test_operands_not_mutated(self, ctx):
+        a = random_poly(ctx, 6)
+        snapshot = a.data.copy()
+        _ = a + a
+        _ = -a
+        _ = a.scalar_mul(3)
+        assert np.array_equal(a.data, snapshot)
+
+
+class TestLimbOps:
+    def test_drop_last_limb(self, ctx):
+        a = random_poly(ctx)
+        dropped = a.drop_last_limb()
+        assert dropped.level_count == 2
+        assert np.array_equal(dropped.data, a.data[:2])
+
+    def test_to_integers_requires_coefficient_domain(self, ctx):
+        a = random_poly(ctx).with_domain(Domain.NTT)
+        with pytest.raises(RNSError):
+            a.to_integers()
+
+    def test_copy_independent(self, ctx):
+        a = random_poly(ctx)
+        c = a.copy()
+        c.data[0][0] = 1
+        assert a != c or a.data[0][0] == 1

@@ -1,0 +1,69 @@
+"""Unit tests for the hardware configuration."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.config import (
+    LIMB_BYTES,
+    POSEIDON_U280,
+    POSEIDON_U280_NAIVE_AUTO,
+    HardwareConfig,
+)
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = POSEIDON_U280
+        assert cfg.lanes == 512
+        assert cfg.hbm_bandwidth == pytest.approx(460e9)
+        assert cfg.scratchpad_bytes == int(8.6 * 2**20)
+        assert cfg.ntt_radix_log2 == 3
+        assert cfg.use_hfauto
+        assert LIMB_BYTES == 4
+
+    def test_naive_variant(self):
+        assert not POSEIDON_U280_NAIVE_AUTO.use_hfauto
+
+    def test_derived_quantities(self):
+        cfg = HardwareConfig()
+        assert cfg.cycle_seconds == pytest.approx(1 / 300e6)
+        assert cfg.hbm_bytes_per_cycle == pytest.approx(460e9 / 300e6)
+
+
+class TestValidation:
+    def test_rejects_non_power_lanes(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(lanes=500)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(frequency_hz=0)
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(ntt_radix_log2=0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(hbm_bandwidth=-1)
+
+
+class TestSweepHelpers:
+    def test_with_lanes_scales_cores_and_spad(self):
+        cfg = HardwareConfig().with_lanes(128)
+        assert cfg.lanes == 128
+        assert cfg.ntt_cores == 16
+        assert cfg.scratchpad_bytes == pytest.approx(
+            int(8.6 * 2**20) * 128 / 512, rel=0.01
+        )
+
+    def test_with_radix(self):
+        assert HardwareConfig().with_radix(4).ntt_radix_log2 == 4
+
+    def test_with_hfauto(self):
+        assert not HardwareConfig().with_hfauto(False).use_hfauto
+
+    def test_immutable(self):
+        cfg = HardwareConfig()
+        with pytest.raises(Exception):
+            cfg.lanes = 256

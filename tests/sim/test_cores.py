@@ -1,0 +1,104 @@
+"""Unit tests for the per-core cycle models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.config import HardwareConfig
+from repro.sim.cores import NTT_MULTS_PER_LANE, CoreModel
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+N = 1 << 14
+
+
+def task(kind, elements=N, limbs=1, degree=N):
+    return OperatorTask(kind=kind, elements=elements, degree=degree,
+                        limbs=limbs)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CoreModel(HardwareConfig())
+
+
+class TestElementwise:
+    def test_throughput_scales_with_elements(self, model):
+        t1 = model.task_cycles(task(OperatorKind.MA, N)).cycles
+        t2 = model.task_cycles(task(OperatorKind.MA, 2 * N)).cycles
+        assert t2 > t1
+        assert t2 - t1 == pytest.approx(N / 512)
+
+    def test_mm_deeper_than_ma(self, model):
+        ma = model.task_cycles(task(OperatorKind.MA)).cycles
+        mm = model.task_cycles(task(OperatorKind.MM)).cycles
+        assert mm > ma
+
+    def test_sbt_maps_to_mm_core(self, model):
+        timing = model.task_cycles(task(OperatorKind.SBT))
+        assert timing.core == "MM"
+
+    def test_lane_scaling(self):
+        wide = CoreModel(HardwareConfig())
+        narrow = CoreModel(HardwareConfig().with_lanes(64))
+        t_wide = wide.task_cycles(task(OperatorKind.MA)).cycles
+        t_narrow = narrow.task_cycles(task(OperatorKind.MA)).cycles
+        assert t_narrow > t_wide
+
+
+class TestNtt:
+    def test_phase_count_effect(self):
+        """k = 3 needs fewer phases than k = 1 at the same rate."""
+        k3 = CoreModel(HardwareConfig().with_radix(3))
+        k1 = CoreModel(HardwareConfig().with_radix(1))
+        t3 = k3.task_cycles(task(OperatorKind.NTT)).cycles
+        t1 = k1.task_cycles(task(OperatorKind.NTT)).cycles
+        assert t3 < t1
+
+    def test_k3_beats_k6(self):
+        """Beyond the DSP budget the rate penalty dominates (Fig. 10)."""
+        k3 = CoreModel(HardwareConfig().with_radix(3))
+        k6 = CoreModel(HardwareConfig().with_radix(6))
+        t3 = k3.task_cycles(task(OperatorKind.NTT)).cycles
+        t6 = k6.task_cycles(task(OperatorKind.NTT)).cycles
+        assert t3 < t6
+
+    def test_k3_within_budget(self):
+        assert (1 << 3) - 1 <= NTT_MULTS_PER_LANE
+
+    def test_intt_same_as_ntt(self, model):
+        ntt = model.task_cycles(task(OperatorKind.NTT)).cycles
+        intt = model.task_cycles(task(OperatorKind.INTT)).cycles
+        assert ntt == intt
+
+
+class TestAutomorphism:
+    def test_hfauto_much_faster(self):
+        hf = CoreModel(HardwareConfig(use_hfauto=True))
+        naive = CoreModel(HardwareConfig(use_hfauto=False))
+        t_hf = hf.task_cycles(task(OperatorKind.AUTO)).cycles
+        t_naive = naive.task_cycles(task(OperatorKind.AUTO)).cycles
+        assert t_naive / t_hf > 10  # paper Table VIII: 65536 vs ~1280
+
+    def test_naive_cycles_equal_degree(self):
+        naive = CoreModel(HardwareConfig(use_hfauto=False))
+        cycles = naive.task_cycles(task(OperatorKind.AUTO)).cycles
+        assert cycles == pytest.approx(N, rel=0.01)
+
+    def test_small_degree_clamps_subvector(self):
+        """Degrees below the lane count still work (C = N)."""
+        model = CoreModel(HardwareConfig())
+        t = task(OperatorKind.AUTO, elements=256, degree=256)
+        assert model.task_cycles(t).cycles > 0
+
+
+class TestDispatch:
+    def test_core_names(self, model):
+        assert model.task_cycles(task(OperatorKind.MA)).core == "MA"
+        assert model.task_cycles(task(OperatorKind.NTT)).core == "NTT"
+        assert model.task_cycles(
+            task(OperatorKind.AUTO)
+        ).core == "Automorphism"
+
+    def test_seconds_conversion(self, model):
+        t = task(OperatorKind.MA)
+        cycles = model.task_cycles(t).cycles
+        assert model.task_seconds(t) == pytest.approx(cycles / 300e6)

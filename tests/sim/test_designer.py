@@ -1,0 +1,94 @@
+"""Unit tests for the design-space explorer."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.errors import SimulationError
+from repro.sim.designer import U280_BUDGET, DesignExplorer
+
+
+@pytest.fixture(scope="module")
+def program():
+    ops = [
+        FheOp.make(FheOpName.CMULT, 1 << 14, 12, aux_limbs=4),
+        FheOp.make(FheOpName.ROTATION, 1 << 14, 12, aux_limbs=4),
+        FheOp.make(FheOpName.HADD, 1 << 14, 12),
+    ]
+    return compile_trace(ops)
+
+
+@pytest.fixture(scope="module")
+def explorer(program):
+    return DesignExplorer(program)
+
+
+class TestEvaluate:
+    def test_point_fields(self, explorer):
+        point = explorer.evaluate(512, 3)
+        assert point.seconds > 0
+        assert point.energy_joules > 0
+        assert point.edp == pytest.approx(
+            point.seconds * point.energy_joules
+        )
+        assert point.fits  # the paper's own design fits its own FPGA
+
+    def test_oversized_design_rejected_by_budget(self, program):
+        tiny_budget = dict(U280_BUDGET, dsp=100)
+        explorer = DesignExplorer(program, budget=tiny_budget)
+        assert not explorer.evaluate(512, 3).fits
+
+
+class TestSearch:
+    def test_best_matches_paper_choice(self, explorer):
+        """The search lands on the paper's design point: k = 3 at the
+        widest lane count that fits the U280."""
+        best = explorer.best(objective="seconds")
+        assert best.radix_log2 == 3
+        assert best.lanes == 512
+
+    def test_unknown_objective(self, explorer):
+        with pytest.raises(SimulationError):
+            explorer.best(objective="happiness")
+
+    def test_impossible_budget(self, program):
+        explorer = DesignExplorer(program, budget={
+            "lut": 1, "ff": 1, "dsp": 1, "bram": 1,
+        })
+        with pytest.raises(SimulationError):
+            explorer.best()
+
+    def test_sweep_size(self, explorer):
+        points = explorer.sweep(
+            lanes_options=(128, 512), radix_options=(2, 3)
+        )
+        assert len(points) == 4
+
+
+class TestPareto:
+    def test_frontier_nonempty_and_undominated(self, explorer):
+        points = explorer.sweep(
+            lanes_options=(64, 256, 512), radix_options=(2, 3, 4)
+        )
+        frontier = explorer.pareto(points)
+        assert frontier
+        # No frontier point dominated by any swept point.
+        for p in frontier:
+            for q in points:
+                if q is p or not q.fits:
+                    continue
+                assert not (
+                    q.seconds < p.seconds
+                    and q.energy_joules < p.energy_joules
+                    and q.resources.lut < p.resources.lut
+                )
+
+    def test_fastest_point_on_frontier(self, explorer):
+        points = explorer.sweep(
+            lanes_options=(64, 512), radix_options=(3,)
+        )
+        frontier = explorer.pareto(points)
+        fastest = min(
+            (p for p in points if p.fits), key=lambda p: p.seconds
+        )
+        assert fastest in frontier

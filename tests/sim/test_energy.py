@@ -1,0 +1,80 @@
+"""Unit tests for the energy / EDP model."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import PoseidonSimulator
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def run():
+    sim = PoseidonSimulator()
+    ops = [
+        FheOp.make(FheOpName.CMULT, N, 10, aux_limbs=2),
+        FheOp.make(FheOpName.ROTATION, N, 10, aux_limbs=2),
+        FheOp.make(FheOpName.HADD, N, 10),
+    ]
+    program = compile_trace(ops)
+    return program, sim.run(program)
+
+
+class TestBreakdown:
+    def test_total_positive(self, run):
+        program, result = run
+        breakdown = EnergyModel(HardwareConfig()).breakdown(result, program)
+        assert breakdown.total > 0
+
+    def test_all_components_present(self, run):
+        program, result = run
+        breakdown = EnergyModel(HardwareConfig()).breakdown(result, program)
+        assert breakdown.hbm_energy > 0
+        assert breakdown.spad_energy > 0
+        assert breakdown.static_energy > 0
+        assert breakdown.core_energy["MM"] > 0
+        assert breakdown.core_energy["NTT"] > 0
+
+    def test_shares_sum_to_one(self, run):
+        program, result = run
+        shares = EnergyModel(HardwareConfig()).breakdown(
+            result, program
+        ).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_fig12_shape_mm_ntt_dominate_compute(self, run):
+        """Fig. 12: among cores, MM and NTT take the major share."""
+        program, result = run
+        core = EnergyModel(HardwareConfig()).breakdown(
+            result, program
+        ).core_energy
+        assert core["MM"] > core["MA"]
+        assert core["NTT"] > core["MA"]
+        assert core["NTT"] > core["Automorphism"]
+
+
+class TestEdp:
+    def test_edp_is_energy_times_delay(self, run):
+        program, result = run
+        model = EnergyModel(HardwareConfig())
+        edp = model.edp(result, program)
+        total = model.breakdown(result, program).total
+        assert edp == pytest.approx(total * result.total_seconds)
+
+    def test_average_power_reasonable(self, run):
+        """U280-class average power: single-digit to ~100 watts."""
+        program, result = run
+        power = EnergyModel(HardwareConfig()).average_power(result, program)
+        assert 5 < power < 200
+
+    def test_fewer_lanes_less_static_power(self, run):
+        program, result = run
+        small = EnergyModel(HardwareConfig().with_lanes(64))
+        big = EnergyModel(HardwareConfig())
+        assert (
+            small.breakdown(result, program).static_energy
+            < big.breakdown(result, program).static_energy
+        )

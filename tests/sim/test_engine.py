@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import OperatorProgram, compile_trace
+from repro.errors import SchedulingError
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+N = 1 << 14
+
+
+def program_of(tasks):
+    return OperatorProgram(
+        tasks=tuple(tasks),
+        op_boundaries=((0, len(tasks)),),
+        source_ops=(),
+    )
+
+
+def simple_task(kind, deps=(), label="op", elements=N):
+    return OperatorTask(
+        kind=kind, elements=elements, degree=N, limbs=1,
+        depends_on=deps, op_label=label,
+    )
+
+
+class TestScheduling:
+    def test_independent_tasks_on_different_cores_overlap(self):
+        sim = PoseidonSimulator()
+        seq = program_of([simple_task(OperatorKind.MA),
+                          simple_task(OperatorKind.NTT)])
+        result = sim.run(seq)
+        ma = next(r for r in result.task_records if r.core == "MA")
+        ntt = next(r for r in result.task_records if r.core == "NTT")
+        # Both start at t = 0: different core arrays, no deps.
+        assert ma.start == 0
+        assert ntt.start == 0
+        assert result.total_seconds < ma.end + ntt.end
+
+    def test_same_core_serializes(self):
+        sim = PoseidonSimulator()
+        result = sim.run(program_of(
+            [simple_task(OperatorKind.MA), simple_task(OperatorKind.MA)]
+        ))
+        first, second = result.task_records
+        assert second.start >= first.end
+
+    def test_dependency_enforced(self):
+        sim = PoseidonSimulator()
+        result = sim.run(program_of([
+            simple_task(OperatorKind.MA),
+            simple_task(OperatorKind.NTT, deps=(0,)),
+        ]))
+        first, second = result.task_records
+        assert second.start >= first.end
+
+    def test_forward_dependency_rejected(self):
+        sim = PoseidonSimulator()
+        bad = program_of([simple_task(OperatorKind.MA, deps=(1,)),
+                          simple_task(OperatorKind.MA)])
+        with pytest.raises(SchedulingError):
+            sim.run(bad)
+
+    def test_hbm_serializes_traffic(self):
+        sim = PoseidonSimulator()
+        heavy = OperatorTask(
+            kind=OperatorKind.MA, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, op_label="x",
+        )
+        light = OperatorTask(
+            kind=OperatorKind.NTT, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, op_label="x",
+        )
+        result = sim.run(program_of([heavy, light]))
+        # Each read takes 100 us; serialized they bound the makespan.
+        assert result.total_seconds >= 2 * 46_000_000 / 460e9
+
+    def test_empty_program(self):
+        sim = PoseidonSimulator()
+        result = sim.run(program_of([]))
+        assert result.total_seconds == 0
+
+
+class TestStatistics:
+    def test_busy_time_attribution(self):
+        sim = PoseidonSimulator()
+        result = sim.run(program_of([
+            simple_task(OperatorKind.MA, label="HAdd"),
+            simple_task(OperatorKind.MM, label="PMult"),
+        ]))
+        assert set(result.op_seconds) == {"HAdd", "PMult"}
+        assert result.core_busy_seconds["MA"] > 0
+        assert result.core_busy_seconds["MM"] > 0
+
+    def test_shares_sum_to_one(self):
+        sim = PoseidonSimulator()
+        ops = [FheOp.make(FheOpName.CMULT, N, 8, aux_limbs=2)]
+        result = sim.run(compile_trace(ops))
+        assert sum(result.op_share().values()) == pytest.approx(1.0)
+        assert sum(result.core_share().values()) == pytest.approx(1.0)
+
+    def test_bandwidth_utilization_bounded(self):
+        sim = PoseidonSimulator()
+        ops = [FheOp.make(FheOpName.HADD, N, 8)]
+        result = sim.run(compile_trace(ops))
+        assert 0 < result.bandwidth_utilization <= 1.0
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        """The DES is deterministic: same program, same schedule."""
+        ops = [
+            FheOp.make(FheOpName.CMULT, N, 10, aux_limbs=3),
+            FheOp.make(FheOpName.ROTATION, N, 10, aux_limbs=3),
+        ]
+        program = compile_trace(ops)
+        a = PoseidonSimulator().run(program)
+        b = PoseidonSimulator().run(program)
+        assert a.total_seconds == b.total_seconds
+        assert a.hbm_bytes == b.hbm_bytes
+        assert a.core_busy_seconds == b.core_busy_seconds
+        assert [r.start for r in a.task_records] == [
+            r.start for r in b.task_records
+        ]
+
+
+class TestOperationHelpers:
+    def test_ops_per_second_inverse_of_seconds(self):
+        sim = PoseidonSimulator()
+        op = FheOp.make(FheOpName.PMULT, N, 8)
+        assert sim.operations_per_second(op) == pytest.approx(
+            1.0 / sim.operation_seconds(op)
+        )
+
+    def test_bigger_op_slower(self):
+        sim = PoseidonSimulator()
+        small = FheOp.make(FheOpName.CMULT, N, 4, aux_limbs=2)
+        large = FheOp.make(FheOpName.CMULT, N, 16, aux_limbs=2)
+        assert sim.operation_seconds(large) > sim.operation_seconds(small)
+
+    def test_hfauto_config_speeds_rotation(self):
+        op = FheOp.make(FheOpName.ROTATION, 1 << 16, 20, aux_limbs=4)
+        fast = PoseidonSimulator(HardwareConfig(use_hfauto=True))
+        slow = PoseidonSimulator(HardwareConfig(use_hfauto=False))
+        assert slow.operation_seconds(op) > fast.operation_seconds(op)
+
+    def test_sustained_throughput_at_least_latency_rate(self):
+        sim = PoseidonSimulator()
+        op = FheOp.make(FheOpName.PMULT, N, 8)
+        sustained = sim.sustained_throughput(op, batch=8)
+        latency_rate = sim.operations_per_second(op)
+        # Pipelining can only help (or tie when one resource binds).
+        assert sustained >= 0.95 * latency_rate
+
+    def test_sustained_throughput_bad_batch(self):
+        sim = PoseidonSimulator()
+        op = FheOp.make(FheOpName.PMULT, N, 8)
+        with pytest.raises(SchedulingError):
+            sim.sustained_throughput(op, batch=0)

@@ -1,0 +1,103 @@
+"""Unit tests for the FPGA resource model (Tables VIII, XI, XII, Fig 10)."""
+
+import pytest
+
+from repro.sim.config import HardwareConfig
+from repro.sim.resources import (
+    PAPER_AUTO,
+    PAPER_FPGA_PROTOTYPES,
+    PAPER_HFAUTO,
+    ResourceModel,
+    ResourceVector,
+)
+
+
+class TestResourceVector:
+    def test_add(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        s = a + b
+        assert (s.lut, s.ff, s.dsp, s.bram) == (11, 22, 33, 44)
+
+    def test_scaled(self):
+        v = ResourceVector(100, 100, 100, 100).scaled(0.5)
+        assert v.lut == 50
+
+
+class TestAutomorphismCores:
+    def test_hfauto_matches_paper_calibration(self):
+        model = ResourceModel(HardwareConfig(use_hfauto=True))
+        vec = model.automorphism_core()
+        assert vec.lut == PAPER_HFAUTO["lut"]
+        assert vec.ff == PAPER_HFAUTO["ff"]
+        assert vec.bram == PAPER_HFAUTO["bram"]
+        assert vec.dsp == 0
+
+    def test_naive_auto_tiny(self):
+        model = ResourceModel(HardwareConfig(use_hfauto=False))
+        vec = model.automorphism_core()
+        assert vec.ff == PAPER_AUTO["ff"]
+        assert vec.lut == 0
+
+    def test_table8_tradeoff(self):
+        """HFAuto spends resources to buy latency (paper Table VIII)."""
+        hf = ResourceModel(HardwareConfig(use_hfauto=True))
+        naive = ResourceModel(HardwareConfig(use_hfauto=False))
+        assert hf.automorphism_core().lut > naive.automorphism_core().lut
+        n = 1 << 16
+        assert (
+            hf.automorphism_latency_cycles(n)
+            < naive.automorphism_latency_cycles(n)
+        )
+
+    def test_naive_latency_is_degree(self):
+        naive = ResourceModel(HardwareConfig(use_hfauto=False))
+        assert naive.automorphism_latency_cycles(4096) == 4096
+
+
+class TestCoreTable:
+    def test_all_cores_present(self):
+        table = ResourceModel(HardwareConfig()).per_core_table()
+        assert set(table) == {"MA", "MM", "SBT", "NTT", "Automorphism"}
+
+    def test_mm_uses_dsps_ma_does_not(self):
+        table = ResourceModel(HardwareConfig()).per_core_table()
+        assert table["MM"].dsp > 0
+        assert table["MA"].dsp == 0
+
+    def test_total_includes_scratchpad_bram(self):
+        model = ResourceModel(HardwareConfig())
+        with_spad = model.total(include_scratchpad=True)
+        without = model.total(include_scratchpad=False)
+        assert with_spad.bram > without.bram
+
+    def test_table12_poseidon_below_heax(self):
+        """Paper: Poseidon consumes less than other FPGA prototypes."""
+        total = ResourceModel(HardwareConfig()).total()
+        heax = PAPER_FPGA_PROTOTYPES["HEAX [32]"]
+        assert total.lut < heax["lut"]
+        assert total.dsp < heax["dsp"]
+
+    def test_lane_scaling(self):
+        small = ResourceModel(HardwareConfig().with_lanes(128)).total(
+            include_scratchpad=False
+        )
+        big = ResourceModel(HardwareConfig()).total(include_scratchpad=False)
+        assert small.lut < big.lut
+        assert small.dsp < big.dsp
+
+
+class TestNttShape:
+    def test_k3_is_resource_minimum(self):
+        """Fig. 10: the k sweep inflects at 3."""
+        luts = {}
+        for k in (2, 3, 4, 5, 6):
+            model = ResourceModel(HardwareConfig().with_radix(k))
+            luts[k] = model.ntt_core().lut
+        assert min(luts, key=luts.get) == 3
+
+    def test_extrapolation_beyond_table(self):
+        model = ResourceModel(HardwareConfig().with_radix(7))
+        assert model.ntt_core().lut > ResourceModel(
+            HardwareConfig().with_radix(6)
+        ).ntt_core().lut

@@ -1,0 +1,90 @@
+"""Unit tests for the PCIe staging model."""
+
+import pytest
+
+from repro.ckks.params import CkksParameters
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.staging import (
+    StagingPlan,
+    ciphertext_staging,
+    full_system_latency,
+    offload_break_even_ops,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_params():
+    return CkksParameters.default(degree=256, levels=4)
+
+
+class TestStagingPlan:
+    def test_ciphertext_sizes(self, toy_params):
+        plan = ciphertext_staging(
+            toy_params, input_ciphertexts=2, output_ciphertexts=1
+        )
+        ct_bytes = 2 * 256 * 4 * 4
+        assert plan.upload_bytes == 2 * ct_bytes
+        assert plan.download_bytes == ct_bytes
+        assert plan.total_bytes == 3 * ct_bytes
+
+    def test_key_bytes_added_to_upload(self, toy_params):
+        base = ciphertext_staging(
+            toy_params, input_ciphertexts=1, output_ciphertexts=1
+        )
+        keyed = ciphertext_staging(
+            toy_params, input_ciphertexts=1, output_ciphertexts=1,
+            key_bytes=10_000,
+        )
+        assert keyed.upload_bytes == base.upload_bytes + 10_000
+
+
+class TestFullSystemLatency:
+    @pytest.fixture(scope="class")
+    def run(self):
+        ops = [FheOp.make(FheOpName.CMULT, 1 << 14, 10, aux_limbs=4)]
+        sim = PoseidonSimulator()
+        return sim.run(compile_trace(ops)), sim.config
+
+    def test_combination(self, run, toy_params):
+        result, config = run
+        plan = ciphertext_staging(
+            toy_params, input_ciphertexts=2, output_ciphertexts=1
+        )
+        latency = full_system_latency(result, plan, config)
+        assert latency.total_seconds == pytest.approx(
+            latency.compute_seconds
+            + latency.upload_seconds
+            + latency.download_seconds
+        )
+        assert 0 <= latency.staging_fraction < 1
+
+    def test_long_runs_amortize_staging(self, run, toy_params):
+        """Paper assumption: staging is negligible for benchmarks."""
+        result, config = run
+        plan = ciphertext_staging(
+            toy_params, input_ciphertexts=2, output_ciphertexts=1
+        )
+        latency = full_system_latency(result, plan, config)
+        assert latency.staging_fraction < 0.05
+
+
+class TestBreakEven:
+    def test_threshold_positive(self):
+        plan = StagingPlan(upload_bytes=16_000_000, download_bytes=0)
+        count = offload_break_even_ops(1e-4, plan, HardwareConfig())
+        assert count >= 10  # 1 ms staging vs 0.1 ms ops
+
+    def test_faster_ops_need_more_batching(self):
+        plan = StagingPlan(upload_bytes=16_000_000, download_bytes=0)
+        cfg = HardwareConfig()
+        assert offload_break_even_ops(1e-5, plan, cfg) > (
+            offload_break_even_ops(1e-3, plan, cfg)
+        )
+
+    def test_rejects_nonpositive_op_time(self):
+        plan = StagingPlan(upload_bytes=1, download_bytes=0)
+        with pytest.raises(ValueError):
+            offload_break_even_ops(0.0, plan, HardwareConfig())

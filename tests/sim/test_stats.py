@@ -1,0 +1,72 @@
+"""Unit tests for post-simulation statistics."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.sim.engine import PoseidonSimulator
+from repro.sim.stats import (
+    bandwidth_report,
+    benchmark_op_shares,
+    benchmark_operator_shares,
+    operation_bandwidth,
+    operator_core_shares,
+)
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return PoseidonSimulator()
+
+
+@pytest.fixture(scope="module")
+def mixed_result(sim):
+    ops = [
+        FheOp.make(FheOpName.HADD, N, 8),
+        FheOp.make(FheOpName.CMULT, N, 8, aux_limbs=2),
+        FheOp.make(FheOpName.ROTATION, N, 8, aux_limbs=2),
+    ]
+    return sim.run(compile_trace(ops))
+
+
+class TestBandwidthReports:
+    def test_hadd_is_bandwidth_bound(self, sim):
+        """Table VII headline: HAdd pins the HBM (>90%)."""
+        op = FheOp.make(FheOpName.HADD, 1 << 16, 44)
+        report = operation_bandwidth(op, sim)
+        assert report.utilization_percent > 90
+
+    def test_keyswitch_lower_utilization(self, sim):
+        """Complex ops are compute-bound, so utilization drops."""
+        hadd = operation_bandwidth(FheOp.make(FheOpName.HADD, 1 << 16, 44),
+                                   sim)
+        ks = operation_bandwidth(
+            FheOp.make(FheOpName.KEYSWITCH, 1 << 16, 44, aux_limbs=4), sim
+        )
+        assert ks.utilization < hadd.utilization
+
+    def test_report_fields(self, sim, mixed_result):
+        report = bandwidth_report("mix", mixed_result, sim.config)
+        assert report.name == "mix"
+        assert report.total_bytes == mixed_result.hbm_bytes
+        assert 0 <= report.utilization <= 1
+
+
+class TestShares:
+    def test_operator_core_shares_normalized(self, mixed_result):
+        shares = operator_core_shares(mixed_result)
+        for op_label, cores in shares.items():
+            assert sum(cores.values()) == pytest.approx(1.0), op_label
+
+    def test_benchmark_op_shares(self, mixed_result):
+        shares = benchmark_op_shares(mixed_result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert set(shares) == {"HAdd", "CMult", "Rotation"}
+
+    def test_benchmark_operator_shares(self, mixed_result):
+        shares = benchmark_operator_shares(mixed_result)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # CMult + Rotation push most time into NTT/MM (paper Fig. 9).
+        assert shares["NTT"] > shares["MA"]

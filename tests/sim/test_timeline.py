@@ -1,0 +1,95 @@
+"""Unit tests for the simulation timeline / scheduler invariants."""
+
+import pytest
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import compile_trace
+from repro.errors import SimulationError
+from repro.sim.engine import PoseidonSimulator, SimulationResult
+from repro.sim.timeline import Timeline
+
+N = 1 << 14
+
+
+@pytest.fixture(scope="module")
+def mixed_timeline():
+    ops = [
+        FheOp.make(FheOpName.CMULT, N, 10, aux_limbs=4),
+        FheOp.make(FheOpName.ROTATION, N, 10, aux_limbs=4),
+        FheOp.make(FheOpName.HADD, N, 10),
+        FheOp.make(FheOpName.PMULT, N, 10),
+    ]
+    result = PoseidonSimulator().run(compile_trace(ops))
+    return Timeline(result)
+
+
+class TestInvariants:
+    def test_no_core_overlap(self, mixed_timeline):
+        """The central scheduler invariant: one task per core at a time."""
+        mixed_timeline.verify_no_overlap()
+
+    def test_overlap_detection_works(self):
+        """A fabricated overlapping timeline must be rejected."""
+        from repro.sim.engine import TaskRecord
+
+        result = SimulationResult(
+            total_seconds=2.0,
+            core_busy_seconds={},
+            op_seconds={},
+            operator_seconds={},
+            hbm_busy_seconds=0,
+            hbm_bytes=0,
+            task_records=[
+                TaskRecord(start=0.0, end=1.5, core="MM",
+                           compute_seconds=1.5, hbm_seconds=0,
+                           hbm_bytes=0, op_label="a"),
+                TaskRecord(start=1.0, end=2.0, core="MM",
+                           compute_seconds=1.0, hbm_seconds=0,
+                           hbm_bytes=0, op_label="b"),
+            ],
+        )
+        with pytest.raises(SimulationError):
+            Timeline(result).verify_no_overlap()
+
+
+class TestStatistics:
+    def test_utilization_bounded(self, mixed_timeline):
+        for core in ("MA", "MM", "NTT", "Automorphism"):
+            u = mixed_timeline.utilization(core)
+            assert 0 <= u <= 1
+
+    def test_ntt_is_busiest_in_keyswitch_mix(self, mixed_timeline):
+        """CMult+Rotation traces keep the NTT array hottest (Fig. 9)."""
+        assert mixed_timeline.busiest_core() == "NTT"
+
+    def test_idle_gaps_well_formed(self, mixed_timeline):
+        for core in mixed_timeline.intervals:
+            for start, end in mixed_timeline.idle_gaps(core):
+                assert end > start
+
+    def test_unknown_core_zero(self, mixed_timeline):
+        assert mixed_timeline.utilization("GPU") == 0.0
+        assert mixed_timeline.idle_gaps("GPU") == []
+
+
+class TestRendering:
+    def test_render_shape(self, mixed_timeline):
+        text = mixed_timeline.render(width=40)
+        lines = text.splitlines()
+        assert len(lines) == len(mixed_timeline.intervals)
+        for line in lines:
+            assert "|" in line and "%" in line
+
+    def test_empty_timeline(self):
+        result = SimulationResult(
+            total_seconds=0.0,
+            core_busy_seconds={},
+            op_seconds={},
+            operator_seconds={},
+            hbm_busy_seconds=0,
+            hbm_bytes=0,
+            task_records=[],
+        )
+        assert Timeline(result).render() == "(empty timeline)"
+        with pytest.raises(SimulationError):
+            Timeline(result).busiest_core()

@@ -1,0 +1,58 @@
+"""Unit tests for the CLI (light targets only; heavy ones are benches)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.lanes == 512
+        assert not args.naive_auto
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_radix_list(self):
+        args = build_parser().parse_args(["fig10", "--radix", "2", "3"])
+        assert args.radix == [2, 3]
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "fig10" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "HAdd" in out and "Rotation" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "W_fused" in out
+
+    def test_table8(self, capsys):
+        assert main(["table8"]) == 0
+        out = capsys.readouterr().out
+        assert "HFAuto" in out
+
+    def test_table11_with_lanes(self, capsys):
+        assert main(["table11", "--lanes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "MM" in out
+
+    def test_fig10_custom_radices(self, capsys):
+        assert main(["fig10", "--radix", "2", "3", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal k: 3" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Keyswitch" in out

@@ -1,0 +1,117 @@
+"""Tests for the exception hierarchy and failure injection across layers.
+
+Every library error must derive from ReproError (single catch point),
+and representative misuse of each subsystem must raise the documented
+exception type — not a bare ValueError/KeyError from deep inside numpy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_value_error_compatibility(self):
+        """Parameter-style errors are also ValueErrors (idiomatic)."""
+        assert issubclass(errors.ParameterError, ValueError)
+        assert issubclass(errors.RNSError, ValueError)
+        assert issubclass(errors.NTTError, ValueError)
+
+    def test_bootstrap_is_evaluation_error(self):
+        assert issubclass(errors.BootstrapError, errors.EvaluationError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+
+class TestFailureInjection:
+    """One representative misuse per subsystem, caught as ReproError."""
+
+    def test_rns_bad_modulus(self):
+        from repro.rns.modular import check_modulus
+
+        with pytest.raises(errors.ReproError):
+            check_modulus(1 << 40)
+
+    def test_prime_exhaustion(self):
+        from repro.utils.primes import find_ntt_primes
+
+        with pytest.raises(errors.ReproError):
+            find_ntt_primes(8, 5, 1 << 12)
+
+    def test_ntt_bad_length(self):
+        from repro.ntt.radix2 import ntt_radix2
+        from repro.ntt.tables import get_twiddle_table
+        from repro.utils.primes import find_ntt_primes
+
+        q = find_ntt_primes(20, 1, 64)[0]
+        table = get_twiddle_table(q, 64)
+        with pytest.raises(errors.ReproError):
+            ntt_radix2(np.zeros(16, dtype=np.uint64), table)
+
+    def test_automorphism_even_galois(self):
+        from repro.automorphism.mapping import automorphism_indices
+
+        with pytest.raises(errors.ReproError):
+            automorphism_indices(64, 2)
+
+    def test_evaluator_scale_mismatch(self, params, keys, encoder,
+                                      encryptor, evaluator):
+        a = encryptor.encrypt(encoder.encode([1.0]))
+        b = encryptor.encrypt(encoder.encode([1.0], scale=2.0**20))
+        with pytest.raises(errors.ReproError):
+            evaluator.add(a, b)
+
+    def test_evaluator_chain_exhaustion(self, encoder, encryptor,
+                                        evaluator):
+        ct = evaluator.drop_to_level(
+            encryptor.encrypt(encoder.encode([1.0])), 0
+        )
+        with pytest.raises(errors.ReproError):
+            evaluator.rescale(ct)
+
+    def test_compiler_unknown_lowering(self):
+        from repro.compiler.decompose import decompose_operation
+        from repro.compiler.ops import FheOp, FheOpName
+
+        with pytest.raises(errors.ReproError):
+            decompose_operation(FheOp.make(FheOpName.BOOTSTRAP, 64, 3))
+
+    def test_simulator_bad_dependency(self):
+        from repro.compiler.program import OperatorProgram
+        from repro.sim.engine import PoseidonSimulator
+        from repro.sim.tasks import OperatorKind, OperatorTask
+
+        bad = OperatorProgram(
+            tasks=(
+                OperatorTask(
+                    kind=OperatorKind.MA, elements=64, degree=64,
+                    limbs=1, depends_on=(5,),
+                ),
+            ),
+            op_boundaries=((0, 1),),
+            source_ops=(),
+        )
+        with pytest.raises(errors.ReproError):
+            PoseidonSimulator().run(bad)
+
+    def test_workload_chain_underflow(self):
+        from repro.workloads.common import WorkloadBuilder
+
+        builder = WorkloadBuilder(degree=64, start_level=1)
+        with pytest.raises(errors.ReproError):
+            builder.cmult(2)
+
+    def test_hardware_config_validation(self):
+        from repro.sim.config import HardwareConfig
+
+        with pytest.raises(errors.ReproError):
+            HardwareConfig(lanes=77)

@@ -1,0 +1,57 @@
+"""Smoke tests over the example scripts.
+
+Each example must import cleanly and expose a ``main``; the fast ones
+actually run (they carry their own internal assertions). The slow ones
+(bootstrap_demo at ~20s+, the larger demos) are exercised by their
+underlying library tests instead.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute end to end in the suite.
+RUNNABLE = ["hfauto_walkthrough.py", "private_statistics.py",
+            "batch_serving.py"]
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestInventory:
+    def test_at_least_five_examples(self):
+        assert len(ALL_EXAMPLES) >= 5
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_importable_with_main(name):
+    module = load_example(name)
+    assert callable(getattr(module, "main", None)), (
+        f"{name} must define a main()"
+    )
+    assert module.__doc__, f"{name} must carry a module docstring"
+
+
+@pytest.mark.parametrize("name", RUNNABLE)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()  # examples assert their own correctness
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} should print its findings"

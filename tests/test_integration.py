@@ -1,0 +1,151 @@
+"""End-to-end integration: functional plane -> trace -> cycle model.
+
+The definitive wiring test: run a real encrypted computation, capture
+its operation trace through the evaluator hook, compile it, simulate
+it on the Poseidon model, and check both planes' outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksEvaluator
+from repro.compiler.program import compile_trace
+from repro.compiler.trace import TraceRecorder
+from repro.sim.config import HardwareConfig
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import PoseidonSimulator
+from tests.conftest import decrypt_real
+
+
+class TestFunctionalToSimulator:
+    @pytest.fixture(scope="class")
+    def traced_run(self, params, keys, encoder, encryptor, decryptor,
+                   slot_vectors):
+        """A small encrypted pipeline with trace capture."""
+        x, y = slot_vectors
+        recorder = TraceRecorder()
+        ev = CkksEvaluator(params, keys, recorder=recorder)
+        ctx_ = encryptor.encrypt(encoder.encode(x))
+        cty = encryptor.encrypt(encoder.encode(y))
+        out = ev.multiply_and_rescale(ctx_, cty)     # CMult + Rescale
+        offset = encoder.encode(
+            y, scale=out.scale,
+            context=params.context_at_level(out.level),
+        )
+        out = ev.add_plain(out, offset)              # HAdd (ct-pt)
+        out = ev.rotate(out, 2)                      # Automorphism + KS
+        decoded = decrypt_real(encoder, decryptor, out)
+        expected = np.roll(x * y + y, -2)
+        return recorder, decoded, expected
+
+    def test_functional_result_correct(self, traced_run):
+        _, decoded, expected = traced_run
+        assert np.max(np.abs(decoded - expected)) < 5e-2
+
+    def test_trace_captured_all_ops(self, traced_run):
+        recorder, _, _ = traced_run
+        hist = recorder.op_histogram()
+        assert hist["CMult"] == 1
+        assert hist["Rescale"] == 1
+        assert hist["HAdd"] == 1  # the ct-pt addition
+        assert hist["Automorphism"] == 1
+        assert hist["Keyswitch"] == 2  # relin + rotation
+
+    def test_trace_simulates(self, traced_run):
+        recorder, _, _ = traced_run
+        program = compile_trace(recorder)
+        result = PoseidonSimulator().run(program)
+        assert result.total_seconds > 0
+        # Keyswitch-bearing ops dominate (paper Fig. 8).
+        shares = result.op_share()
+        ks_heavy = (
+            shares.get("CMult", 0)
+            + shares.get("Keyswitch", 0)
+            + shares.get("Rotation", 0)
+        )
+        assert ks_heavy > 0.5
+
+    def test_energy_accounting(self, traced_run):
+        recorder, _, _ = traced_run
+        program = compile_trace(recorder)
+        cfg = HardwareConfig()
+        result = PoseidonSimulator(cfg).run(program)
+        breakdown = EnergyModel(cfg).breakdown(result, program)
+        assert breakdown.total > 0
+        assert sum(breakdown.shares().values()) == pytest.approx(1.0)
+
+
+class TestAblationConsistency:
+    def test_hfauto_ablation_speedup(self):
+        """Table IX wiring: rotation-heavy traces slow down on the
+        naive Auto core at hardware-scale degrees (N >> lanes)."""
+        from repro.compiler.ops import FheOp, FheOpName
+
+        ops = [
+            FheOp.make(FheOpName.ROTATION, 1 << 16, 20, aux_limbs=4)
+            for _ in range(3)
+        ]
+        program = compile_trace(ops)
+        fast = PoseidonSimulator(HardwareConfig(use_hfauto=True)).run(program)
+        slow = PoseidonSimulator(
+            HardwareConfig(use_hfauto=False)
+        ).run(program)
+        assert slow.total_seconds > fast.total_seconds
+
+    def test_hfauto_irrelevant_at_tiny_degree(self, params, keys, encoder,
+                                              encryptor, slot_vectors):
+        """At N <= lanes the sub-vector trick cannot help — both
+        configurations time out nearly identically (sanity bound)."""
+        x, _ = slot_vectors
+        recorder = TraceRecorder()
+        ev = CkksEvaluator(params, keys, recorder=recorder)
+        ct = encryptor.encrypt(encoder.encode(x))
+        ct = ev.rotate(ct, 1)
+        program = compile_trace(recorder)
+        fast = PoseidonSimulator(HardwareConfig(use_hfauto=True)).run(program)
+        slow = PoseidonSimulator(
+            HardwareConfig(use_hfauto=False)
+        ).run(program)
+        assert slow.total_seconds == pytest.approx(
+            fast.total_seconds, rel=0.25
+        )
+
+
+class TestFunctionalWorkloads:
+    def test_encrypted_convolution(self, params, keys, encoder, encryptor,
+                                   decryptor, evaluator):
+        """The ResNet building block really convolves under encryption."""
+        from repro.workloads.resnet20 import (
+            convolution_reference,
+            packed_convolution_functional,
+        )
+
+        rng = np.random.default_rng(3)
+        image = rng.uniform(-1, 1, (8, 8))
+        kernel = rng.uniform(-0.5, 0.5, (3, 3))
+        got = packed_convolution_functional(
+            evaluator, encoder, encryptor, decryptor, image, kernel
+        )
+        ref = convolution_reference(image, kernel)
+        # Interior only: packed rotation wraps at image borders.
+        assert np.max(np.abs(got[1:-1, 1:-1] - ref[1:-1, 1:-1])) < 5e-2
+
+    def test_encrypted_lstm_step(self, params, keys, encoder, encryptor,
+                                 decryptor, evaluator):
+        """A tiny recurrent step matches the plaintext recurrence."""
+        from repro.workloads.lstm import (
+            lstm_functional,
+            lstm_plaintext_reference,
+        )
+
+        rng = np.random.default_rng(4)
+        n = 8
+        w0 = rng.uniform(-0.3, 0.3, (n, n))
+        w1 = rng.uniform(-0.3, 0.3, (n, n))
+        xs = [rng.uniform(-0.5, 0.5, n)]
+        y0 = rng.uniform(-0.5, 0.5, n)
+        got = lstm_functional(
+            evaluator, encoder, encryptor, decryptor, w0, w1, xs, y0
+        )
+        ref = lstm_plaintext_reference(w0, w1, xs, y0)
+        assert np.max(np.abs(got - ref)) < 5e-2

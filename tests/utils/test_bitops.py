@@ -1,0 +1,116 @@
+"""Unit tests for bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NTTError
+from repro.utils.bitops import (
+    bit_reverse,
+    bit_reverse_permutation,
+    digit_reverse,
+    digit_reverse_permutation,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+    reverse_bits_array,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for e in range(20):
+            assert is_power_of_two(1 << e)
+
+    def test_non_powers(self):
+        for n in (0, -1, -4, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_power_of_two(n)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for e in range(20):
+            assert ilog2(1 << e) == e
+
+    def test_rejects_non_power(self):
+        with pytest.raises(NTTError):
+            ilog2(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(NTTError):
+            ilog2(0)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (1023, 1024),
+                       (1025, 2048)]
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestBitReverse:
+    def test_small(self):
+        assert bit_reverse(0b0011, 4) == 0b1100
+        assert bit_reverse(0b0001, 4) == 0b1000
+        assert bit_reverse(0, 4) == 0
+
+    def test_involution(self):
+        for v in range(64):
+            assert bit_reverse(bit_reverse(v, 6), 6) == v
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_reverse(16, 4)
+
+    @given(st.integers(1, 16), st.data())
+    def test_involution_property(self, width, data):
+        v = data.draw(st.integers(0, (1 << width) - 1))
+        assert bit_reverse(bit_reverse(v, width), width) == v
+
+
+class TestBitReversePermutation:
+    def test_is_permutation(self):
+        perm = bit_reverse_permutation(32)
+        assert sorted(perm.tolist()) == list(range(32))
+
+    def test_matches_scalar(self):
+        n = 64
+        perm = bit_reverse_permutation(n)
+        for i in range(n):
+            assert perm[i] == bit_reverse(i, 6)
+
+    def test_involution(self):
+        perm = bit_reverse_permutation(128)
+        assert np.array_equal(perm[perm], np.arange(128))
+
+
+class TestDigitReverse:
+    def test_base4(self):
+        # 0b0110 in base-4 digits: (01)(10) -> reversed (10)(01).
+        assert digit_reverse(0b0110, 2, 2) == 0b1001
+
+    def test_matches_bit_reverse_for_base2(self):
+        for v in range(64):
+            assert digit_reverse(v, 1, 6) == bit_reverse(v, 6)
+
+    def test_permutation_valid(self):
+        perm = digit_reverse_permutation(64, 2)
+        assert sorted(perm.tolist()) == list(range(64))
+
+    def test_rejects_mismatched_radix(self):
+        with pytest.raises(NTTError):
+            digit_reverse_permutation(32, 2)  # 2^5 not a power of 4
+
+
+class TestReverseBitsArray:
+    def test_matches_scalar(self):
+        values = np.arange(16, dtype=np.int64)
+        out = reverse_bits_array(values, 4)
+        expected = np.array([bit_reverse(int(v), 4) for v in values])
+        assert np.array_equal(out, expected)

@@ -1,0 +1,72 @@
+"""Unit tests for shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, RNSError
+from repro.utils.checks import (
+    as_uint64_coeffs,
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    check_same_length,
+)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two("n", 1024) == 1024
+
+    def test_accepts_numpy_int(self):
+        assert check_power_of_two("n", np.int64(64)) == 64
+
+    def test_rejects(self):
+        with pytest.raises(ParameterError):
+            check_power_of_two("n", 12)
+
+    def test_rejects_float(self):
+        with pytest.raises(ParameterError):
+            check_power_of_two("n", 8.0)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive("x", -1)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("v", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("v", 2.0, 1.0, 2.0) == 2.0
+
+    def test_rejects(self):
+        with pytest.raises(ParameterError):
+            check_in_range("v", 2.5, 1.0, 2.0)
+
+
+class TestCheckSameLength:
+    def test_accepts(self):
+        check_same_length("a", [1, 2], "b", [3, 4])
+
+    def test_rejects(self):
+        with pytest.raises(RNSError):
+            check_same_length("a", [1], "b", [1, 2])
+
+
+class TestAsUint64Coeffs:
+    def test_reduces_mod_q(self):
+        out = as_uint64_coeffs([-1, 5, 17], 3, 7)
+        assert out.tolist() == [6, 5, 3]
+        assert out.dtype == np.uint64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(RNSError):
+            as_uint64_coeffs([1, 2], 3, 7)

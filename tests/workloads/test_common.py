@@ -1,0 +1,109 @@
+"""Unit tests for the workload builder and level tracking."""
+
+import pytest
+
+from repro.compiler.ops import FheOpName
+from repro.errors import WorkloadError
+from repro.workloads.common import LevelTracker, WorkloadBuilder
+
+
+class TestLevelTracker:
+    def test_consume(self):
+        t = LevelTracker(level=5, top_level=10)
+        t.consume(2)
+        assert t.level == 3
+
+    def test_underflow_raises(self):
+        t = LevelTracker(level=1, top_level=10)
+        with pytest.raises(WorkloadError):
+            t.consume(2)
+
+    def test_refresh(self):
+        t = LevelTracker(level=0, top_level=10)
+        t.refresh()
+        assert t.level == 10
+
+
+class TestBuilderEmissions:
+    def test_cmult_brings_rescale(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.cmult(2)
+        hist = b.build().op_histogram()
+        assert hist["CMult"] == 2
+        assert hist["Rescale"] == 2
+        assert b.levels.level == 3
+
+    def test_hoisted_rotation_split(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.rotation(5, hoisted=True)
+        hist = b.build().op_histogram()
+        assert hist["Rotation"] == 1
+        assert hist["HoistedRotation"] == 4
+
+    def test_rotation_zero_noop(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.rotation(0)
+        assert len(b.build()) == 0
+
+    def test_resident_pmult_metadata(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.pmult(1, resident=True)
+        assert b.build().ops[0].get_meta("resident") is True
+
+    def test_top_below_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadBuilder(degree=1 << 12, start_level=5, top_level=3)
+
+
+class TestMacroSteps:
+    def test_linear_transform_consumes_one_level(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.linear_transform(64)
+        assert b.levels.level == 4
+        hist = b.build().op_histogram()
+        assert hist["PMult"] == 64
+        assert hist["Rescale"] == 1
+
+    def test_linear_transform_sparse_fewer_ops(self):
+        dense = WorkloadBuilder(degree=1 << 12, start_level=5)
+        dense.linear_transform(64)
+        sparse = WorkloadBuilder(degree=1 << 12, start_level=5)
+        sparse.linear_transform(64, diagonals=8)
+        assert len(sparse.build()) < len(dense.build())
+
+    def test_rotate_accumulate_log_steps(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=5)
+        b.rotate_accumulate(256)
+        hist = b.build().op_histogram()
+        assert hist["Rotation"] == 8
+        assert hist["HAdd"] == 8
+
+    def test_bootstrap_refreshes_levels(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=2, top_level=30)
+        b.bootstrap()
+        depth = WorkloadBuilder.bootstrap_depth()
+        assert b.levels.level == 30 - depth
+
+    def test_bootstrap_depth_formula(self):
+        assert WorkloadBuilder.bootstrap_depth(
+            c2s_stages=3, s2c_stages=3, taylor_degree=7, double_angles=6
+        ) == 3 + (1 + 6 + 6 + 1) + 3
+
+    def test_bootstrap_underflow_protection(self):
+        b = WorkloadBuilder(degree=1 << 12, start_level=2, top_level=10)
+        with pytest.raises(WorkloadError):
+            b.bootstrap()  # depth 20 > top 10
+
+    def test_sparse_bootstrap_cheaper(self):
+        full = WorkloadBuilder(degree=1 << 12, start_level=2, top_level=30)
+        full.bootstrap()
+        sparse = WorkloadBuilder(degree=1 << 12, start_level=2, top_level=30)
+        sparse.bootstrap(slots=64, stage_diagonals=8)
+        assert len(sparse.build()) < len(full.build())
+
+    def test_eval_mod_halves_parallel_levels(self):
+        """The two EvalMod halves must not double-consume levels."""
+        b = WorkloadBuilder(degree=1 << 12, start_level=2, top_level=40)
+        b.bootstrap()
+        expected = 40 - WorkloadBuilder.bootstrap_depth()
+        assert b.levels.level == expected

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.compiler.ops import FheOpName
+from repro.compiler.program import compile_trace
+from repro.errors import WorkloadError
+from repro.sim.engine import PoseidonSimulator
+from repro.workloads.generator import DEFAULT_MIX, synthetic_trace
+
+
+class TestSyntheticTrace:
+    def test_deterministic_with_seed(self):
+        a = synthetic_trace(op_count=50, seed=1)
+        b = synthetic_trace(op_count=50, seed=1)
+        assert [op.name for op in a.ops] == [op.name for op in b.ops]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_trace(op_count=50, seed=1)
+        b = synthetic_trace(op_count=50, seed=2)
+        assert [op.name for op in a.ops] != [op.name for op in b.ops]
+
+    def test_levels_consistent(self):
+        trace = synthetic_trace(op_count=200, seed=3)
+        assert all(op.level >= 0 for op in trace.ops)
+
+    def test_custom_mix(self):
+        trace = synthetic_trace(
+            op_count=30,
+            mix={FheOpName.HADD: 1.0},
+            seed=4,
+        )
+        assert set(trace.op_histogram()) == {"HAdd"}
+
+    def test_zero_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_trace(mix={FheOpName.HADD: 0.0})
+
+    def test_long_stream_survives_chain_exhaustion(self):
+        """CMult-heavy stream forces refreshes without underflow."""
+        trace = synthetic_trace(
+            op_count=100,
+            start_level=4,
+            top_level=25,
+            mix={FheOpName.CMULT: 1.0},
+            seed=5,
+        )
+        # At least the 100 drawn CMults; refresh bootstraps add more.
+        assert trace.op_histogram()["CMult"] >= 100
+
+    def test_simulatable(self):
+        trace = synthetic_trace(op_count=40, seed=6)
+        result = PoseidonSimulator().run(compile_trace(trace))
+        assert result.total_seconds > 0
+
+    def test_default_mix_normalized_use(self):
+        # All default-mix names are emitted over a long run.
+        trace = synthetic_trace(op_count=500, seed=7, start_level=30,
+                                top_level=30)
+        hist = trace.op_histogram()
+        for name in DEFAULT_MIX:
+            assert hist.get(name.value, 0) > 0

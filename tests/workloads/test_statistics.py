@@ -1,0 +1,67 @@
+"""Tests for the private-statistics workload (trace + functional)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.program import compile_trace
+from repro.sim.engine import PoseidonSimulator
+from repro.workloads.statistics import (
+    encrypted_mean_variance,
+    statistics_trace,
+)
+
+
+class TestTrace:
+    def test_structure(self):
+        trace = statistics_trace(degree=1 << 12, record_batches=4)
+        hist = trace.op_histogram()
+        assert hist["CMult"] == 4      # one square per batch
+        assert hist["PMult"] == 4      # one mask per batch
+        assert hist["Rotation"] > 8    # rotate-accumulate reductions
+
+    def test_simulates(self):
+        trace = statistics_trace(degree=1 << 12, record_batches=4)
+        result = PoseidonSimulator().run(compile_trace(trace))
+        assert result.total_seconds > 0
+
+    def test_rotation_heavy_profile(self):
+        """This workload is rotation/HAdd heavy — the bandwidth-bound
+        end of the spectrum relative to the CMult-heavy NN traces."""
+        trace = statistics_trace(degree=1 << 12, record_batches=8)
+        hist = trace.op_histogram()
+        assert hist["Rotation"] + hist["HAdd"] > 3 * hist["CMult"]
+
+    def test_batch_scaling(self):
+        small = statistics_trace(degree=1 << 12, record_batches=2)
+        large = statistics_trace(degree=1 << 12, record_batches=8)
+        assert len(large) > 3 * len(small)
+
+
+class TestFunctional:
+    def test_mean_variance_match_plaintext(self, params, encoder,
+                                           encryptor, decryptor, evaluator):
+        rng = np.random.default_rng(4)
+        records = rng.normal(0.1, 0.3, 32)
+        mean, var = encrypted_mean_variance(
+            evaluator, encoder, encryptor, decryptor, records
+        )
+        assert abs(mean - np.mean(records)) < 1e-2
+        assert abs(var - np.var(records)) < 1e-2
+
+    def test_constant_records_zero_variance(self, params, encoder,
+                                            encryptor, decryptor,
+                                            evaluator):
+        records = np.full(16, 0.25)
+        mean, var = encrypted_mean_variance(
+            evaluator, encoder, encryptor, decryptor, records
+        )
+        assert abs(mean - 0.25) < 1e-2
+        assert abs(var) < 1e-2
+
+    def test_too_many_records_rejected(self, params, encoder, encryptor,
+                                       decryptor, evaluator):
+        with pytest.raises(ValueError):
+            encrypted_mean_variance(
+                evaluator, encoder, encryptor, decryptor,
+                np.zeros(params.slot_count + 1),
+            )
