@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples tables quicktest all
+.PHONY: test bench bench-smoke regress lint examples tables quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -10,8 +10,19 @@ test:
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -k "not bootstrap and not properties"
 
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast perf sanity check: the CI bench-smoke job runs exactly this.
+bench-smoke:
+	$(PYTHON) benchmarks/regress.py --smoke
+
+# Full fixed suite vs the checked-in baseline (fails on >10% slowdown).
+regress:
+	$(PYTHON) benchmarks/regress.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

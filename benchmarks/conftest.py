@@ -1,0 +1,18 @@
+"""Make the bench suite runnable standalone.
+
+``pyproject.toml`` points pytest's ``testpaths`` at ``tests/``, so
+``pytest benchmarks/`` only works as an explicit-path override — and
+then only with ``PYTHONPATH=src`` exported. This conftest removes the
+second requirement: it puts ``src/`` on ``sys.path`` before the bench
+modules import ``repro``, so ``python -m pytest benchmarks/`` works
+from a clean checkout (and from CI) with no environment setup.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

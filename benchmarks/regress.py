@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Deterministic perf-regression harness for the Poseidon simulator.
+
+Runs a fixed suite of simulated workloads — Table IV basic operations,
+Table VI full-system benchmarks, and the Fig. 10 NTT radix sweep —
+records *simulated seconds* (deterministic: pure float arithmetic over
+a fixed task stream) and wall-clock seconds (informational) per
+workload, writes a ``BENCH_<date>.json`` report, and compares the run
+against a checked-in baseline. Exits non-zero when any workload's
+simulated time regresses more than the threshold (default 10%).
+
+Usage::
+
+    python benchmarks/regress.py                  # full suite vs baseline
+    python benchmarks/regress.py --smoke          # CI-fast subset
+    python benchmarks/regress.py --update-baseline
+    python benchmarks/regress.py --smoke --artifacts out/
+
+Runnable standalone from any cwd — no PYTHONPATH needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from datetime import date
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs import (  # noqa: E402  (path bootstrap must come first)
+    collecting,
+    compare_baselines,
+    load_baseline,
+    make_baseline,
+    save_baseline,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.regression import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    new_workloads,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+#: Basic operations measured at paper scale (Table IV context).
+TABLE4_FULL = ("PMult", "CMult", "NTT", "Keyswitch", "Rotation", "Rescale")
+TABLE4_SMOKE = ("PMult", "Keyswitch")
+
+TABLE6_FULL = ("LR", "LSTM", "ResNet-20", "Packed Bootstrapping")
+TABLE6_SMOKE = ("LR",)
+
+FIG10_FULL = (2, 3, 4, 5, 6)
+FIG10_SMOKE = (2, 3)
+
+
+def _table4_seconds(op_name: str) -> float:
+    from repro.analysis.tables import (
+        TABLE4_AUX,
+        TABLE4_DEGREE,
+        TABLE4_LEVEL,
+    )
+    from repro.compiler.ops import FheOp, FheOpName
+    from repro.sim.engine import PoseidonSimulator
+    from repro.sim.tasks import OperatorKind, OperatorTask
+
+    sim = PoseidonSimulator()
+    if op_name == "NTT":
+        task = OperatorTask(
+            kind=OperatorKind.NTT,
+            elements=TABLE4_LEVEL * TABLE4_DEGREE,
+            degree=TABLE4_DEGREE,
+            limbs=TABLE4_LEVEL,
+            hbm_read_bytes=TABLE4_DEGREE * TABLE4_LEVEL * 4,
+            hbm_write_bytes=TABLE4_DEGREE * TABLE4_LEVEL * 4,
+            op_label="NTT",
+        )
+        return max(
+            sim.cores.task_seconds(task),
+            sim.memory.task_timing(task).hbm_seconds,
+        )
+    op = FheOp.make(
+        FheOpName.from_label(op_name),
+        TABLE4_DEGREE,
+        TABLE4_LEVEL,
+        aux_limbs=TABLE4_AUX,
+    )
+    return sim.operation_seconds(op)
+
+
+def _table6_seconds(bench: str) -> float:
+    from repro.compiler.program import compile_trace
+    from repro.sim.engine import PoseidonSimulator
+    from repro.workloads import PAPER_BENCHMARKS
+
+    program = compile_trace(PAPER_BENCHMARKS[bench]())
+    return PoseidonSimulator().run(program).total_seconds
+
+
+def _fig10_seconds(k: int) -> float:
+    from repro.sim.config import HardwareConfig
+    from repro.sim.engine import PoseidonSimulator
+    from repro.sim.tasks import OperatorKind, OperatorTask
+
+    degree, limbs = 1 << 16, 44
+    sim = PoseidonSimulator(HardwareConfig().with_radix(k))
+    task = OperatorTask(
+        kind=OperatorKind.NTT,
+        elements=limbs * degree,
+        degree=degree,
+        limbs=limbs,
+        op_label="NTT",
+    )
+    return sim.cores.task_seconds(task)
+
+
+def build_suite(smoke: bool) -> list[tuple[str, object]]:
+    """The fixed measurement suite: ``[(workload name, thunk)]``."""
+    ops = TABLE4_SMOKE if smoke else TABLE4_FULL
+    benches = TABLE6_SMOKE if smoke else TABLE6_FULL
+    radices = FIG10_SMOKE if smoke else FIG10_FULL
+    suite: list[tuple[str, object]] = []
+    for op_name in ops:
+        suite.append(
+            (f"table4/{op_name}",
+             lambda op_name=op_name: _table4_seconds(op_name))
+        )
+    for bench in benches:
+        suite.append(
+            (f"table6/{bench}", lambda bench=bench: _table6_seconds(bench))
+        )
+    for k in radices:
+        suite.append((f"fig10/k={k}", lambda k=k: _fig10_seconds(k)))
+    return suite
+
+
+def run_suite(smoke: bool) -> dict[str, dict]:
+    """Execute the suite; ``{name: {simulated_seconds, wall_seconds}}``."""
+    workloads: dict[str, dict] = {}
+    for name, thunk in build_suite(smoke):
+        t0 = time.perf_counter()
+        simulated = thunk()
+        wall = time.perf_counter() - t0
+        workloads[name] = {
+            "simulated_seconds": simulated,
+            "wall_seconds": wall,
+        }
+        print(f"  {name:28s} {simulated * 1e3:12.4f} ms sim"
+              f"   ({wall:6.2f} s wall)")
+    return workloads
+
+
+def dump_artifacts(out_dir: Path, benchmark: str = "LR") -> None:
+    """Write a trace + metrics pair for CI artifact upload."""
+    from repro.compiler.program import compile_trace
+    from repro.sim.engine import PoseidonSimulator
+    from repro.sim.timeline import Timeline
+    from repro.workloads import PAPER_BENCHMARKS
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    program = compile_trace(PAPER_BENCHMARKS[benchmark]())
+    simulator = PoseidonSimulator()
+    with collecting() as registry:
+        result = simulator.run(program)
+    Timeline(result).verify_no_overlap()
+    write_chrome_trace(result, out_dir / "trace.json", label=benchmark)
+    write_metrics_json(
+        registry.snapshot(),
+        out_dir / "metrics.json",
+        meta={
+            "benchmark": benchmark,
+            "simulated_seconds": result.total_seconds,
+        },
+    )
+    print(f"artifacts: {out_dir / 'trace.json'}, {out_dir / 'metrics.json'}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the fixed perf suite and compare to baseline.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast CI subset (2 basic ops, LR, two radices)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"baseline JSON to compare against (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run as the new baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed simulated-time growth (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO_ROOT / "benchmarks",
+        help="directory for the BENCH_<date>.json report",
+    )
+    parser.add_argument(
+        "--artifacts", type=Path, default=None,
+        help="also dump trace.json/metrics.json for CI upload",
+    )
+    args = parser.parse_args(argv)
+
+    label = "smoke" if args.smoke else "full"
+    print(f"running {label} suite...")
+    workloads = run_suite(args.smoke)
+    today = date.today().isoformat()
+    report = make_baseline(workloads, created=today, label=label)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    report_path = args.out_dir / f"BENCH_{today}.json"
+    save_baseline(report, report_path)
+    print(f"report: {report_path}")
+
+    if args.artifacts is not None:
+        dump_artifacts(args.artifacts)
+
+    if args.update_baseline:
+        save_baseline(report, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline "
+            "to create one", file=sys.stderr,
+        )
+        return 2
+
+    baseline = load_baseline(args.baseline)
+    # A smoke run measures a subset; judge only the workloads this run
+    # was supposed to produce so the full baseline still applies.
+    expected = {name for name, _ in build_suite(args.smoke)}
+    baseline_view = {
+        "schema": baseline["schema"],
+        "workloads": {
+            name: entry
+            for name, entry in baseline["workloads"].items()
+            if name in expected
+        },
+    }
+    findings = compare_baselines(
+        baseline_view, report, threshold=args.threshold
+    )
+    extra = new_workloads(baseline_view, report)
+    if extra:
+        print(f"new workloads (not in baseline): {', '.join(extra)}")
+    if findings:
+        print(
+            f"\nFAIL: {len(findings)} regression(s) above "
+            f"{100 * args.threshold:.0f}%:", file=sys.stderr,
+        )
+        for finding in findings:
+            print(f"  {finding.describe()}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(baseline_view['workloads'])} workloads within "
+        f"{100 * args.threshold:.0f}% of baseline "
+        f"({baseline.get('created', '?')})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,10 +62,10 @@ class CpuModel:
 
     def keyswitch_seconds(self, op: FheOp) -> float:
         """Digit decomposition + extended NTTs + products + ModDown."""
-        l = op.limbs
+        limb_count = op.limbs
         ext = op.extended_limbs
         digits = keyswitch_digits(op)
-        seconds = self.ntt_seconds(op.degree, l)  # input INTT
+        seconds = self.ntt_seconds(op.degree, limb_count)  # input INTT
         for _ in range(digits):
             seconds += self.ntt_seconds(op.degree, ext)
             seconds += self.elementwise_seconds(
@@ -73,43 +73,43 @@ class CpuModel:
             )
         seconds += 2 * self.ntt_seconds(op.degree, ext)  # INTT both
         seconds += self.elementwise_seconds(
-            op.degree, l, muls=2, adds=2
+            op.degree, limb_count, muls=2, adds=2
         )  # ModDown
-        seconds += 2 * self.ntt_seconds(op.degree, l)  # back to NTT form
+        seconds += 2 * self.ntt_seconds(op.degree, limb_count)  # back to NTT form
         return seconds
 
     # ------------------------------------------------------------------
     def operation_seconds(self, op: FheOp) -> float:
         """Single-thread latency of one basic operation."""
-        n, l = op.degree, op.limbs
+        n, limbs = op.degree, op.limbs
         name = op.name
         if name is FheOpName.HADD:
-            return self.elementwise_seconds(n, l, adds=2)
+            return self.elementwise_seconds(n, limbs, adds=2)
         if name is FheOpName.PMULT:
-            return self.elementwise_seconds(n, l, muls=2)
+            return self.elementwise_seconds(n, limbs, muls=2)
         if name is FheOpName.CMULT:
-            tensor = self.elementwise_seconds(n, l, muls=4, adds=1)
+            tensor = self.elementwise_seconds(n, limbs, muls=4, adds=1)
             return tensor + self.keyswitch_seconds(op)
         if name is FheOpName.RESCALE:
             # Software libraries keep one part in lazy coefficient
             # form around rescale; ~1.2 poly-NTT equivalents transform.
             return (
-                self.elementwise_seconds(n, l, muls=2, adds=2)
-                + 1.2 * self.ntt_seconds(n, max(1, l - 1))
+                self.elementwise_seconds(n, limbs, muls=2, adds=2)
+                + 1.2 * self.ntt_seconds(n, max(1, limbs - 1))
             )
         if name is FheOpName.KEYSWITCH:
             return self.keyswitch_seconds(op)
         if name in (FheOpName.ROTATION, FheOpName.HOISTED_ROTATION):
-            automorphism = self.elementwise_seconds(n, l, adds=2)
+            automorphism = self.elementwise_seconds(n, limbs, adds=2)
             return (
                 2 * automorphism
                 + self.keyswitch_seconds(op)
-                + self.elementwise_seconds(n, l, adds=1)
+                + self.elementwise_seconds(n, limbs, adds=1)
             )
         if name is FheOpName.AUTOMORPHISM:
-            return 2 * self.elementwise_seconds(n, l, adds=2)
+            return 2 * self.elementwise_seconds(n, limbs, adds=2)
         if name is FheOpName.MODDROP:
-            return self.elementwise_seconds(n, l, adds=1)
+            return self.elementwise_seconds(n, limbs, adds=1)
         raise WorkloadError(f"no CPU model for {name.value}")
 
     def operations_per_second(self, op: FheOp) -> float:

@@ -21,6 +21,7 @@ from repro.ckks.keys import KeyChain
 from repro.ckks.keyswitch import apply_switch_key
 from repro.ckks.params import CkksParameters
 from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.obs import metrics
 from repro.rns.basis_convert import rescale as rns_rescale
 from repro.rns.poly import RnsPolynomial
 
@@ -57,6 +58,9 @@ class CkksEvaluator:
     # Internals
     # ------------------------------------------------------------------
     def _record(self, op: str, ct: Ciphertext | None = None, **meta) -> None:
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter(f"ckks.op.{op}").inc()
         if self.recorder is not None:
             if ct is not None:
                 meta.setdefault("level", ct.level)

@@ -26,6 +26,7 @@ from repro.errors import EvaluationError
 from repro.ckks.keys import SwitchKey
 from repro.ckks.params import CkksParameters
 from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.obs import metrics
 from repro.rns.basis_convert import mod_down
 from repro.rns.context import RnsContext
 from repro.rns.poly import Domain, RnsPolynomial
@@ -69,6 +70,16 @@ def apply_switch_key(
         )
     base_ctx = d.context
     ext_ctx = params.key_context_at_level(level)
+
+    reg = metrics.active()
+    if reg is not None:
+        reg.counter("ckks.keyswitch.calls").inc()
+        reg.counter("ckks.keyswitch.digits").inc(level + 1)
+        # level+1 forward digit NTTs plus two inverse transforms, each
+        # over every limb of the extended basis.
+        reg.counter("ckks.keyswitch.ntt_limb_transforms").inc(
+            (level + 3) * ext_ctx.level_count
+        )
 
     acc_b: RnsPolynomial | None = None
     acc_a: RnsPolynomial | None = None

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli fig10 --radix 2 3 4 5 6
     python -m repro.cli table6 --lanes 256
     python -m repro.cli fig11 --workload LR
+    python -m repro.cli trace --benchmark resnet20 -o trace.json
+    python -m repro.cli metrics --benchmark lr -o metrics.json
 
 Each command prints the same rows the corresponding bench target
 asserts on, so results can be inspected without running pytest.
@@ -191,6 +193,64 @@ def cmd_design(args) -> None:
     print(f"best (time): {best.label}")
 
 
+def _simulate_benchmark(args):
+    """Shared setup for the observability commands.
+
+    Returns ``(name, result, registry)`` — the canonical benchmark
+    name, the simulation result, and the metrics registry that was
+    active while it ran.
+    """
+    from repro.compiler.program import compile_trace
+    from repro.obs import collecting
+    from repro.sim.engine import PoseidonSimulator
+    from repro.workloads import PAPER_BENCHMARKS, resolve_benchmark
+
+    try:
+        name = resolve_benchmark(args.benchmark)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    program = compile_trace(PAPER_BENCHMARKS[name]())
+    simulator = PoseidonSimulator(_config_from_args(args))
+    with collecting() as registry:
+        result = simulator.run(program)
+    return name, result, registry
+
+
+def cmd_trace(args) -> None:
+    """Export one benchmark run as Chrome-trace/Perfetto JSON."""
+    from repro.obs import write_chrome_trace
+    from repro.sim.timeline import Timeline
+
+    name, result, _ = _simulate_benchmark(args)
+    Timeline(result).verify_no_overlap()
+    out = args.output or "trace.json"
+    doc = write_chrome_trace(result, out, label=name)
+    print(
+        f"wrote {out}: {len(doc['traceEvents'])} events, "
+        f"{result.total_seconds * 1e3:.2f} ms simulated ({name}); "
+        "open at https://ui.perfetto.dev"
+    )
+
+
+def cmd_metrics(args) -> None:
+    """Export one benchmark run's metrics snapshot as flat JSON."""
+    from repro.obs import write_metrics_json
+
+    name, result, registry = _simulate_benchmark(args)
+    out = args.output or "metrics.json"
+    doc = write_metrics_json(
+        registry.snapshot(),
+        out,
+        meta={
+            "benchmark": name,
+            "lanes": args.lanes,
+            "simulated_seconds": result.total_seconds,
+            "bandwidth_utilization": result.bandwidth_utilization,
+        },
+    )
+    print(f"wrote {out}: {len(doc['metrics'])} metrics ({name})")
+
+
 def cmd_fig12(args) -> None:
     fig = fig12_energy_breakdown(_config_from_args(args))
     print("Fig. 12 — energy consumption and breakdown")
@@ -221,6 +281,8 @@ COMMANDS = {
     "fig12": cmd_fig12,
     "summary": cmd_summary,
     "design": cmd_design,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 
@@ -250,6 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default="ResNet-20",
         choices=["LR", "LSTM", "ResNet-20", "Packed Bootstrapping"],
         help="workload for fig11",
+    )
+    parser.add_argument(
+        "--benchmark", default="resnet20",
+        help="benchmark for trace/metrics (accepts aliases: resnet20, "
+             "lr, lstm, bootstrapping)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="output path for trace/metrics JSON "
+             "(default trace.json / metrics.json)",
     )
     return parser
 

@@ -154,7 +154,7 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
     - ModDown both accumulators: RNSconv (MM+MA cascade) from the aux
       basis plus the final subtract/scale, then NTT back.
     """
-    l = op.limbs
+    base_limbs = op.limbs
     ext = op.extended_limbs
     aux = op.aux_limbs
     digits = keyswitch_digits(op)
@@ -178,7 +178,7 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
         tasks.append(
             _task(
                 OperatorKind.MM, op, polys=2, limbs=ext,
-                read_polys=2 * ext / max(l, 1), deps=(base + 1,),
+                read_polys=2 * ext / max(base_limbs, 1), deps=(base + 1,),
             )
         )
         # Accumulate into (delta_b, delta_a).
@@ -196,7 +196,7 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
         )
     )
     tasks.append(
-        _task(OperatorKind.MA, op, polys=2, limbs=l, deps=(base + 1,))
+        _task(OperatorKind.MA, op, polys=2, limbs=base_limbs, deps=(base + 1,))
     )
     # Final scale by P^-1 and NTT back to residency.
     tasks.append(_task(OperatorKind.MM, op, polys=2, deps=(base + 2,)))
@@ -271,7 +271,7 @@ def _lower_hoisted_rotation(op: FheOp) -> list[OperatorTask]:
     that dominate a cold keyswitch — the standard trick HELR-style
     workloads (and the paper's benchmarks) rely on.
     """
-    l = op.limbs
+    base_limbs = op.limbs
     ext = op.extended_limbs
     aux = op.aux_limbs
     digits = keyswitch_digits(op)
@@ -286,7 +286,7 @@ def _lower_hoisted_rotation(op: FheOp) -> list[OperatorTask]:
         tasks.append(
             _task(
                 OperatorKind.MM, op, polys=2, limbs=ext,
-                read_polys=2 * ext / max(l, 1), deps=prev,
+                read_polys=2 * ext / max(base_limbs, 1), deps=prev,
             )
         )
         tasks.append(
@@ -298,7 +298,7 @@ def _lower_hoisted_rotation(op: FheOp) -> list[OperatorTask]:
     tasks.append(
         _task(OperatorKind.MM, op, polys=2, limbs=max(aux, 1), deps=(base,))
     )
-    tasks.append(_task(OperatorKind.MA, op, polys=2, limbs=l, deps=(base + 1,)))
+    tasks.append(_task(OperatorKind.MA, op, polys=2, limbs=base_limbs, deps=(base + 1,)))
     tasks.append(_task(OperatorKind.MM, op, polys=2, deps=(base + 2,)))
     tasks.append(
         _task(OperatorKind.NTT, op, polys=2, write_polys=2, deps=(base + 3,))

@@ -18,7 +18,9 @@ from repro.errors import NTTError
 from repro.ntt.fusion import FusedNtt
 from repro.ntt.radix2 import intt_radix2, ntt_radix2
 from repro.ntt.tables import get_twiddle_table
+from repro.obs import metrics
 from repro.rns.poly import Domain, RnsPolynomial
+from repro.utils.bitops import ilog2
 
 
 class NegacyclicTransformer:
@@ -38,14 +40,27 @@ class NegacyclicTransformer:
         self.table = get_twiddle_table(q, n)
         self._fused = FusedNtt(q, n, radix_log2) if radix_log2 >= 2 else None
 
+    def _count_transform(self, direction: str) -> None:
+        # (n/2) * log2(n) TAM butterflies per length-n transform,
+        # independent of the kernel (fusion changes reductions, not
+        # butterfly count).
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter(f"ntt.transforms.{direction}").inc()
+            reg.counter("ntt.butterflies").inc(
+                (self.n // 2) * ilog2(self.n)
+            )
+
     def forward(self, values: np.ndarray) -> np.ndarray:
         """Coefficient -> point-value (NTT) representation."""
+        self._count_transform("forward")
         if self._fused is not None:
             return self._fused.forward(values)
         return ntt_radix2(values, self.table)
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Point-value (NTT) -> coefficient representation."""
+        self._count_transform("inverse")
         if self._fused is not None:
             return self._fused.inverse(values)
         return intt_radix2(values, self.table)

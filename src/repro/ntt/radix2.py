@@ -102,7 +102,7 @@ def ntt_radix2_cyclic(values: np.ndarray, q: int, omega: int) -> np.ndarray:
     """
     a = np.asarray(values, dtype=np.uint64).copy()
     n = a.shape[0]
-    logn = ilog2(n)
+    ilog2(n)  # validates n is a power of two
     if pow(omega, n, q) != 1 or pow(omega, n // 2, q) == 1:
         raise NTTError(f"omega={omega} is not a primitive {n}-th root mod {q}")
     # Bit-reverse input for in-place DIT.

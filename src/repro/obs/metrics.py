@@ -1,0 +1,224 @@
+"""A lightweight metrics registry with a zero-overhead disabled mode.
+
+Three instrument kinds cover everything the reproduction records:
+
+- :class:`Counter` — monotonically increasing totals (NTT butterflies,
+  Barrett reductions, HBM bytes, scratchpad hits/misses);
+- :class:`Gauge` — last-written values (makespan, bandwidth
+  utilization of the most recent run);
+- :class:`Histogram` — distributions (per-task queue wait, busy time,
+  HBM channels engaged), tracked as count/sum/min/max plus a bounded
+  sample reservoir for quantiles.
+
+Collection is opt-in. The module-level :func:`active` returns the
+installed registry or ``None``; every instrumented call site does::
+
+    reg = metrics.active()
+    if reg is not None:
+        reg.counter("ntt.butterflies").inc(n)
+
+so the disabled path is one function call and one ``is None`` test —
+no allocation, no dict lookup, no string formatting. Tests and the CLI
+enable collection with :func:`collecting` (a context manager) or
+:func:`enable`/:func:`disable`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: Maximum raw observations a histogram retains for quantile queries.
+#: Beyond this the reservoir decimates (keeps every other sample), so
+#: memory stays bounded on million-task runs while quantiles remain
+#: representative.
+HISTOGRAM_RESERVOIR = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A streaming distribution summary with bounded memory."""
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride", "_skip")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1   # keep every _stride-th observation
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._skip += 1
+        if self._skip >= self._stride:
+            self._skip = 0
+            self._samples.append(value)
+            if len(self._samples) >= HISTOGRAM_RESERVOIR:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile from the retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch.
+
+    A name identifies one instrument; asking for an existing name with
+    a different kind is an error (it means two call sites disagree
+    about what the metric is).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """Flat JSON-ready view: ``{name: value-or-summary}``.
+
+        Counters and gauges export their value directly; histograms
+        export their :meth:`Histogram.summary` dict.
+        """
+        out: dict = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out[name] = inst.summary()
+            else:
+                out[name] = inst.value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Process-wide collection switch
+# ----------------------------------------------------------------------
+_active: MetricsRegistry | None = None
+
+
+def active() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when collection is off."""
+    return _active
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install a registry (a fresh one by default) and return it."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Turn collection off; instrumented sites return to the no-op path."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def collecting(registry: MetricsRegistry | None = None):
+    """Enable collection for a ``with`` block, restoring the prior state.
+
+    >>> with collecting() as reg:
+    ...     simulator.run(program)
+    >>> reg.snapshot()["sim.tasks"]
+    """
+    previous = _active
+    reg = enable(registry)
+    try:
+        yield reg
+    finally:
+        if previous is None:
+            disable()
+        else:
+            enable(previous)

@@ -1,0 +1,132 @@
+"""Baseline schema and comparator for the perf-regression harness.
+
+``benchmarks/regress.py`` runs a fixed suite of simulated workloads and
+records *simulated seconds* per workload (deterministic — pure float
+arithmetic over a fixed task stream, so identical on every machine)
+plus wall-clock seconds (informational only; machine-dependent).
+
+The comparator judges simulated seconds alone: a workload regresses
+when its current simulated time exceeds the baseline by more than the
+threshold (default 10%). Missing workloads also fail — a suite that
+silently drops a benchmark must not pass CI. New workloads (present
+now, absent from the baseline) are reported but do not fail, so adding
+coverage never blocks on a baseline refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: Baseline file schema version.
+SCHEMA_VERSION = 1
+
+#: Default allowed simulated-time growth before a workload fails.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One comparator finding."""
+
+    workload: str
+    kind: str              # "slower" | "missing"
+    baseline_seconds: float | None
+    current_seconds: float | None
+    ratio: float | None    # current / baseline where defined
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return (
+                f"{self.workload}: present in baseline "
+                f"({self.baseline_seconds:.6g}s) but absent from this run"
+            )
+        return (
+            f"{self.workload}: {self.current_seconds:.6g}s vs baseline "
+            f"{self.baseline_seconds:.6g}s ({100 * (self.ratio - 1):+.1f}%)"
+        )
+
+
+def make_baseline(
+    workloads: dict[str, dict], *, created: str = "", label: str = ""
+) -> dict:
+    """Assemble a baseline document.
+
+    Args:
+        workloads: ``{name: {"simulated_seconds": float,
+            "wall_seconds": float, ...}}`` — extra keys are preserved.
+        created: ISO date string stamped by the runner.
+        label: free-form description (git rev, suite name).
+    """
+    for name, entry in workloads.items():
+        if "simulated_seconds" not in entry:
+            raise ValueError(
+                f"workload {name!r} entry lacks simulated_seconds"
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": created,
+        "label": label,
+        "workloads": workloads,
+    }
+
+
+def compare_baselines(
+    baseline: dict,
+    current: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[Regression]:
+    """All regressions of ``current`` against ``baseline``.
+
+    Returns an empty list when every baseline workload is present and
+    within ``(1 + threshold) *`` its baseline simulated time.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    for doc, who in ((baseline, "baseline"), (current, "current")):
+        if doc.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{who} document has schema {doc.get('schema')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+    base_wl = baseline["workloads"]
+    cur_wl = current["workloads"]
+    findings: list[Regression] = []
+    for name in sorted(base_wl):
+        base_s = float(base_wl[name]["simulated_seconds"])
+        if name not in cur_wl:
+            findings.append(Regression(
+                workload=name, kind="missing",
+                baseline_seconds=base_s, current_seconds=None, ratio=None,
+            ))
+            continue
+        cur_s = float(cur_wl[name]["simulated_seconds"])
+        if base_s <= 0:
+            continue  # degenerate baseline entry; nothing to compare
+        ratio = cur_s / base_s
+        if ratio > 1.0 + threshold:
+            findings.append(Regression(
+                workload=name, kind="slower",
+                baseline_seconds=base_s, current_seconds=cur_s,
+                ratio=ratio,
+            ))
+    return findings
+
+
+def new_workloads(baseline: dict, current: dict) -> list[str]:
+    """Workloads present in this run but absent from the baseline."""
+    return sorted(
+        set(current["workloads"]) - set(baseline["workloads"])
+    )
+
+
+def load_baseline(path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def save_baseline(doc: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")

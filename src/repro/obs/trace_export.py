@@ -1,0 +1,133 @@
+"""Export simulated runs as Chrome-trace JSON and metrics snapshots.
+
+The Chrome trace format (also read by Perfetto, ``ui.perfetto.dev``) is
+a JSON object with a ``traceEvents`` list. We emit:
+
+- one *thread* per operator core array (MA, MM, NTT, Automorphism) and
+  one for the HBM channel, named via ``M`` metadata events;
+- one complete (``ph: "X"``) event per task span — ``ts``/``dur`` in
+  microseconds of *simulated* time — carrying the task's compute time,
+  HBM time, bytes moved and queue wait in ``args``;
+- an ``hbm_bytes`` counter (``ph: "C"``) track accumulating off-chip
+  traffic over the run.
+
+Only simulated time appears in the trace, so exports are deterministic:
+the same program on the same config produces byte-identical JSON.
+
+This module deliberately imports nothing from :mod:`repro.sim` at
+module scope (the sim layer imports :mod:`repro.obs.metrics`); the
+functions duck-type over :class:`~repro.sim.engine.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid an import cycle with the sim layer
+    from repro.sim.engine import SimulationResult
+
+#: Stable thread ids per track, in paper core order; HBM last.
+TRACK_IDS = {"MA": 1, "MM": 2, "NTT": 3, "Automorphism": 4, "HBM": 9}
+
+_SECONDS_TO_US = 1e6
+
+
+def _track_id(core: str) -> int:
+    # Unknown cores (future core types) get ids past the fixed block.
+    return TRACK_IDS.get(core, 100 + sum(map(ord, core)) % 100)
+
+
+def chrome_trace_events(result: "SimulationResult") -> list[dict]:
+    """The ``traceEvents`` list for one simulated run."""
+    events: list[dict] = [
+        {
+            "ph": "M", "pid": 0, "tid": 0,
+            "name": "process_name",
+            "args": {"name": "poseidon-sim"},
+        }
+    ]
+    tracks = sorted(
+        {r.core for r in result.task_records} | {"HBM"},
+        key=_track_id,
+    )
+    for core in tracks:
+        events.append({
+            "ph": "M", "pid": 0, "tid": _track_id(core),
+            "name": "thread_name",
+            "args": {"name": core},
+        })
+
+    hbm_cumulative = 0
+    for record in result.task_records:
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": _track_id(record.core),
+            "ts": record.start * _SECONDS_TO_US,
+            "dur": (record.end - record.start) * _SECONDS_TO_US,
+            "name": record.op_label,
+            "cat": record.core,
+            "args": {
+                "compute_seconds": record.compute_seconds,
+                "hbm_seconds": record.hbm_seconds,
+                "hbm_bytes": record.hbm_bytes,
+                "queue_wait_seconds": record.queue_wait_seconds,
+            },
+        })
+        if record.hbm_seconds > 0:
+            events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": TRACK_IDS["HBM"],
+                "ts": record.hbm_start * _SECONDS_TO_US,
+                "dur": (record.hbm_end - record.hbm_start) * _SECONDS_TO_US,
+                "name": f"{record.op_label} stream",
+                "cat": "HBM",
+                "args": {"bytes": record.hbm_bytes},
+            })
+        if record.hbm_bytes:
+            hbm_cumulative += record.hbm_bytes
+            events.append({
+                "ph": "C",
+                "pid": 0,
+                "ts": record.hbm_end * _SECONDS_TO_US,
+                "name": "hbm_bytes",
+                "args": {"cumulative": hbm_cumulative},
+            })
+    return events
+
+
+def chrome_trace(result: "SimulationResult", *, label: str = "") -> dict:
+    """Full Chrome-trace document for one simulated run."""
+    return {
+        "traceEvents": chrome_trace_events(result),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "generator": "repro.obs.trace_export",
+            "simulated_seconds": result.total_seconds,
+            "hbm_bytes": result.hbm_bytes,
+            "bandwidth_utilization": result.bandwidth_utilization,
+        },
+    }
+
+
+def write_chrome_trace(
+    result: "SimulationResult", path, *, label: str = ""
+) -> dict:
+    """Write the Chrome-trace JSON to ``path``; returns the document."""
+    doc = chrome_trace(result, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def write_metrics_json(snapshot: dict, path, *, meta: dict | None = None) -> dict:
+    """Write a flat metrics snapshot (plus optional metadata) as JSON."""
+    doc = {"schema": 1, "meta": meta or {}, "metrics": snapshot}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import RNSError
+from repro.obs import metrics
 from repro.rns.modular import check_modulus
 
 
@@ -42,6 +43,9 @@ class BarrettReducer:
 
     def reduce_scalar(self, x: int) -> int:
         """Reduce a single Python int ``x`` (0 <= x < q^2) mod q."""
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("rns.barrett.reductions").inc()
         if x < 0 or x >= self.q * self.q:
             raise RNSError(
                 f"Barrett input must be in [0, q^2) for q={self.q}, got {x}"
@@ -64,6 +68,9 @@ class BarrettReducer:
         product is below ``2^(2k+2) <= 2^64`` for ``k <= 31``.
         """
         x = np.asarray(x, dtype=np.uint64)
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter("rns.barrett.reductions").inc(int(x.size))
         q1 = x >> self._shift_lo
         q3 = (q1 * self._u64) >> self._shift_hi
         r = x - q3 * self._q64

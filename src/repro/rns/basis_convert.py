@@ -69,11 +69,11 @@ class BasisConverter:
             raise RNSError("RNSconv operates in the coefficient domain")
 
         n = poly.degree
-        l = self.source.level_count
+        src_limbs = self.source.level_count
         k = self.target.level_count
 
         # Step 1 (MM): y_j = [a_j * q_hat_j^{-1}]_{q_j}  per source limb.
-        y = np.empty((l, n), dtype=np.uint64)
+        y = np.empty((src_limbs, n), dtype=np.uint64)
         for j, q in enumerate(self.source.moduli):
             y[j] = mod_mul(poly.data[j], self._q_hat_inv[j], q)
 
@@ -82,7 +82,7 @@ class BasisConverter:
         for i, p in enumerate(self.target.moduli):
             acc = np.zeros(n, dtype=np.uint64)
             p64 = np.uint64(p)
-            for j in range(l):
+            for j in range(src_limbs):
                 term = mod_mul(y[j] % p64, self._q_hat_mod_target[j, i], p)
                 acc = (acc + term) % p64
             out[i] = acc
@@ -123,9 +123,9 @@ def mod_down(
     if poly.domain is not Domain.COEFFICIENT:
         raise RNSError("ModDown operates in the coefficient domain")
 
-    l = base.level_count
-    part_base = RnsPolynomial(poly.data[:l].copy(), base, Domain.COEFFICIENT)
-    part_aux = RnsPolynomial(poly.data[l:].copy(), aux, Domain.COEFFICIENT)
+    base_limbs = base.level_count
+    part_base = RnsPolynomial(poly.data[:base_limbs].copy(), base, Domain.COEFFICIENT)
+    part_aux = RnsPolynomial(poly.data[base_limbs:].copy(), aux, Domain.COEFFICIENT)
 
     converter = BasisConverter(aux, base)
     correction = converter.convert(part_aux)

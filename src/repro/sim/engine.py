@@ -23,20 +23,27 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulingError
-
-if TYPE_CHECKING:  # avoid a circular import; engine only needs the type
-    from repro.compiler.program import OperatorProgram
+from repro.obs import metrics
 from repro.sim.config import HardwareConfig
 from repro.sim.cores import CoreModel
 from repro.sim.memory import MemoryModel
-from repro.sim.tasks import OperatorTask
+
+if TYPE_CHECKING:  # avoid a circular import; engine only needs the type
+    from repro.compiler.program import OperatorProgram
 
 CORE_NAMES = ("MA", "MM", "NTT", "Automorphism")
 
 
 @dataclass
 class TaskRecord:
-    """Scheduling outcome of one task."""
+    """Scheduling outcome of one task.
+
+    ``queue_wait_seconds`` is the time the task sat ready (dependencies
+    satisfied) waiting for its core array; ``hbm_start``/``hbm_end``
+    bound its slot on the shared HBM channel (both zero when the task
+    moves no off-chip bytes). These feed the Chrome-trace exporter's
+    per-core and HBM tracks (:mod:`repro.obs.trace_export`).
+    """
 
     start: float
     end: float
@@ -45,6 +52,9 @@ class TaskRecord:
     hbm_seconds: float
     hbm_bytes: int
     op_label: str
+    queue_wait_seconds: float = 0.0
+    hbm_start: float = 0.0
+    hbm_end: float = 0.0
 
 
 @dataclass
@@ -175,8 +185,15 @@ class PoseidonSimulator:
                     hbm_seconds=mem.hbm_seconds,
                     hbm_bytes=mem.hbm_bytes,
                     op_label=label,
+                    queue_wait_seconds=start - deps_done,
+                    hbm_start=hbm_start if mem.hbm_seconds > 0 else 0.0,
+                    hbm_end=hbm_end if mem.hbm_seconds > 0 else 0.0,
                 )
             )
+
+        reg = metrics.active()
+        if reg is not None:
+            self._record_metrics(reg, records, makespan, hbm_busy, core_busy)
 
         return SimulationResult(
             total_seconds=makespan,
@@ -189,6 +206,27 @@ class PoseidonSimulator:
             hbm_bytes=hbm_bytes_total,
             task_records=records,
         )
+
+    @staticmethod
+    def _record_metrics(reg, records, makespan, hbm_busy, core_busy) -> None:
+        """Publish one run's spans into the active metrics registry.
+
+        Kept out of the scheduling loop so the disabled path costs a
+        single ``metrics.active()`` check per run.
+        """
+        reg.counter("sim.tasks").inc(len(records))
+        reg.gauge("sim.makespan_seconds").set(makespan)
+        reg.gauge("sim.hbm.busy_seconds").set(hbm_busy)
+        for core, busy in core_busy.items():
+            reg.counter(f"sim.core.{core}.busy_seconds").inc(busy)
+        wait = reg.histogram("sim.task.queue_wait_seconds")
+        busy_h = reg.histogram("sim.task.busy_seconds")
+        hbm_bytes = reg.counter("sim.hbm.bytes")
+        for record in records:
+            wait.observe(record.queue_wait_seconds)
+            busy_h.observe(record.end - record.start)
+            hbm_bytes.inc(record.hbm_bytes)
+            reg.counter(f"sim.op.{record.op_label}.tasks").inc()
 
     # ------------------------------------------------------------------
     def run_ops(self, ops) -> SimulationResult:

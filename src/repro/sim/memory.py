@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import metrics
 from repro.sim.config import HardwareConfig, LIMB_BYTES
 
 #: Bytes one HBM pseudo-channel serves per striping unit. Transfers
@@ -80,6 +81,16 @@ class MemoryModel:
         else:
             hbm_seconds = 0.0
         spad_seconds = task.spad_bytes / cfg.scratchpad_bandwidth
+        reg = metrics.active()
+        if reg is not None:
+            if spill:
+                reg.counter("sim.spad.misses").inc()
+                reg.counter("sim.spad.spill_bytes").inc(spill)
+            else:
+                reg.counter("sim.spad.hits").inc()
+            if hbm_bytes:
+                reg.counter("sim.hbm.transfers").inc()
+                reg.histogram("sim.hbm.channels_used").observe(channels)
         return MemoryTiming(
             hbm_seconds=hbm_seconds,
             hbm_bytes=hbm_bytes,

@@ -31,8 +31,43 @@ PAPER_BENCHMARKS = {
     "Packed Bootstrapping": packed_bootstrapping_trace,
 }
 
+#: Lowercased CLI-friendly spellings -> canonical benchmark names.
+BENCHMARK_ALIASES = {
+    "lr": "LR",
+    "helr": "LR",
+    "lstm": "LSTM",
+    "resnet": "ResNet-20",
+    "resnet20": "ResNet-20",
+    "resnet-20": "ResNet-20",
+    "bootstrap": "Packed Bootstrapping",
+    "bootstrapping": "Packed Bootstrapping",
+    "packed-bootstrapping": "Packed Bootstrapping",
+    "packed bootstrapping": "Packed Bootstrapping",
+}
+
+
+def resolve_benchmark(name: str) -> str:
+    """Canonical benchmark name for a CLI spelling (case-insensitive).
+
+    Raises:
+        KeyError: with the accepted spellings, when nothing matches.
+    """
+    if name in PAPER_BENCHMARKS:
+        return name
+    canonical = BENCHMARK_ALIASES.get(name.strip().lower())
+    if canonical is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{sorted(PAPER_BENCHMARKS)} or aliases "
+            f"{sorted(BENCHMARK_ALIASES)}"
+        )
+    return canonical
+
+
 __all__ = [
+    "BENCHMARK_ALIASES",
     "PAPER_BENCHMARKS",
+    "resolve_benchmark",
     "helr_trace",
     "lstm_trace",
     "packed_bootstrapping_trace",

@@ -97,10 +97,6 @@ def lstm_functional(
     y_ct = encryptor.encrypt(encoder.encode(np.tile(y0, reps)))
     for t in range(steps):
         wy = lt0.apply(y_ct)
-        x_pt = encoder.encode(
-            np.tile(x_inputs[t], reps),
-            context=evaluator.params.context_at_level(y_ct.level),
-        )
         wx_input = encryptor.encrypt(encoder.encode(np.tile(x_inputs[t], reps)))
         wx = lt1.apply(evaluator.drop_to_level(wx_input, y_ct.level))
         pre = evaluator.add(wy, wx)

@@ -1,6 +1,5 @@
 """Unit tests for Galois-element computation for slot rotations."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AutomorphismError

@@ -9,7 +9,7 @@ from repro.baselines.asics import (
     all_asics,
 )
 from repro.baselines.gpu import GPU_BASIC_OPS, GPU_BENCHMARK_MS, gpu_edp
-from repro.baselines.heax import HEAX_BASIC_OPS, HEAX_RESOURCES, KIM_RESOURCES
+from repro.baselines.heax import HEAX_RESOURCES, KIM_RESOURCES
 from repro.baselines.registry import BaselineRegistry
 from repro.compiler.ops import FheOp, FheOpName
 

@@ -12,7 +12,7 @@ from repro.automorphism.mapping import (
 from repro.ckks.hoisting import HoistedRotator
 from repro.ntt.negacyclic import ntt_negacyclic
 from repro.rns.context import RnsContext
-from repro.rns.poly import Domain, RnsPolynomial
+from repro.rns.poly import RnsPolynomial
 from repro.utils.primes import find_ntt_primes
 from tests.conftest import decrypt_real
 

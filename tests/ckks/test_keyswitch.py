@@ -6,7 +6,6 @@ import pytest
 from repro.errors import EvaluationError
 from repro.ckks.keyswitch import apply_switch_key, lift_digit
 from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
-from repro.rns.context import RnsContext
 from repro.rns.poly import Domain, RnsPolynomial
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.ckks.planner import (
-    BootstrapPlan,
     LevelPlanner,
     Stage,
     uniform_stages,

@@ -1,7 +1,5 @@
 """Unit tests for the parameter presets."""
 
-import pytest
-
 from repro.ckks.presets import (
     PAPER_SCALES,
     bootstrap_capable,

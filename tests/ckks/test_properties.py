@@ -7,7 +7,6 @@ parameter set to keep each example fast.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 SLOT_TOL = 5e-2

@@ -8,7 +8,6 @@ silently relies on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ntt.negacyclic import poly_multiply

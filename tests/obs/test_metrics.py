@@ -1,0 +1,132 @@
+"""MetricsRegistry semantics: instruments, no-op mode, nesting."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    HISTOGRAM_RESERVOIR,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_keeps_last_value(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.set(1.25)
+        assert g.value == 1.25
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+
+    def test_empty_summary(self):
+        assert Histogram("x").summary()["count"] == 0
+
+    def test_quantiles_ordered(self):
+        h = Histogram("x")
+        for v in range(100):
+            h.observe(float(v))
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(0.99)
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=2)
+
+    def test_quantile_range_checked(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_reservoir_stays_bounded_but_exact_aggregates(self):
+        h = Histogram("x")
+        n = 5 * HISTOGRAM_RESERVOIR
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.total == sum(range(n))
+        assert h.min == 0.0 and h.max == n - 1
+        assert len(h._samples) < HISTOGRAM_RESERVOIR
+        # decimated reservoir still tracks the distribution roughly
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.1)
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc(2)
+        reg.gauge("a.gauge").set(7.0)
+        reg.histogram("c.hist").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.gauge", "b.count", "c.hist"]
+        assert snap["b.count"] == 2
+        assert snap["a.gauge"] == 7.0
+        assert snap["c.hist"]["count"] == 1
+
+    def test_reset_clears(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestCollectionSwitch:
+    def test_disabled_by_default(self):
+        assert metrics.active() is None
+
+    def test_collecting_installs_and_restores(self):
+        assert metrics.active() is None
+        with metrics.collecting() as reg:
+            assert metrics.active() is reg
+            reg.counter("x").inc()
+        assert metrics.active() is None
+        assert reg.counter("x").value == 1
+
+    def test_collecting_nests(self):
+        with metrics.collecting() as outer:
+            with metrics.collecting() as inner:
+                assert metrics.active() is inner
+            assert metrics.active() is outer
+        assert metrics.active() is None
+
+    def test_enable_with_explicit_registry(self):
+        mine = MetricsRegistry()
+        try:
+            assert metrics.enable(mine) is mine
+            assert metrics.active() is mine
+        finally:
+            metrics.disable()
+        assert metrics.active() is None

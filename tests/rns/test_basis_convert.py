@@ -54,11 +54,11 @@ class TestBasisConverter:
         poly = RnsPolynomial.from_integers(values, base)
         out = conv.convert(poly)
         big_q = base.modulus_product
-        l = base.level_count
+        limb_count = base.level_count
         for col, v in enumerate(values[:8]):
             lift = v % big_q
             for i, p in enumerate(aux.moduli):
-                candidates = {(lift + e * big_q) % p for e in range(l + 1)}
+                candidates = {(lift + e * big_q) % p for e in range(limb_count + 1)}
                 assert int(out.data[i][col]) in candidates
 
     def test_zero_maps_to_zero(self, base, aux):

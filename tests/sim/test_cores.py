@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import SimulationError
 from repro.sim.config import HardwareConfig
 from repro.sim.cores import NTT_MULTS_PER_LANE, CoreModel
 from repro.sim.tasks import OperatorKind, OperatorTask

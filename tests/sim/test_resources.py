@@ -1,7 +1,5 @@
 """Unit tests for the FPGA resource model (Tables VIII, XI, XII, Fig 10)."""
 
-import pytest
-
 from repro.sim.config import HardwareConfig
 from repro.sim.resources import (
     PAPER_AUTO,

@@ -56,3 +56,32 @@ class TestExecution:
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "Keyswitch" in out
+
+
+class TestObservability:
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--benchmark", "bootstrapping", "-o", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["label"] == "Packed Bootstrapping"
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_metrics_writes_snapshot(self, tmp_path):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main([
+            "metrics", "--benchmark", "bootstrapping", "-o", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["meta"]["benchmark"] == "Packed Bootstrapping"
+        assert doc["metrics"]["sim.tasks"] > 0
+
+    def test_benchmark_alias_rejected_when_unknown(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["trace", "--benchmark", "nope"])

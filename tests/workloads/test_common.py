@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler.ops import FheOpName
 from repro.errors import WorkloadError
 from repro.workloads.common import LevelTracker, WorkloadBuilder
 
