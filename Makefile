@@ -2,10 +2,31 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-smoke regress lint examples tables quicktest all
+.PHONY: test test-batched properties golden coverage bench bench-smoke \
+	regress lint examples tables quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Same tier-1 suite with the limb-parallel kernel backend active:
+# end-to-end proof the backends are interchangeable.
+test-batched:
+	REPRO_KERNEL_BACKEND=batched $(PYTHON) -m pytest tests/ -x -q
+
+# Hypothesis suite under the derandomized CI profile.
+properties:
+	$(PYTHON) -m pytest tests/properties -q --hypothesis-profile=ci
+
+# Recompute the big-int golden vectors (only when definitions change).
+golden:
+	$(PYTHON) tests/golden/regenerate.py
+
+# Kernel-layer branch coverage with the CI floor (needs pytest-cov).
+coverage:
+	$(PYTHON) -m pytest -q tests/ntt tests/rns tests/kernels \
+		tests/golden tests/properties --hypothesis-profile=ci \
+		--cov=repro.ntt --cov=repro.rns --cov=repro.kernels \
+		--cov-report=term-missing --cov-fail-under=80
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -k "not bootstrap and not properties"

@@ -22,7 +22,6 @@ Runnable standalone from any cwd — no PYTHONPATH needed.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from datetime import date
@@ -58,6 +57,11 @@ TABLE6_SMOKE = ("LR",)
 
 FIG10_FULL = (2, 3, 4, 5, 6)
 FIG10_SMOKE = (2, 3)
+
+#: Functional-plane NTT micro-benchmark shape (wall-clock, per backend).
+MICRONTT_DEGREE = 4096
+MICRONTT_LIMBS = 8
+MICRONTT_BACKENDS = ("reference", "batched")
 
 
 def _table4_seconds(op_name: str) -> float:
@@ -120,6 +124,66 @@ def _fig10_seconds(k: int) -> float:
     return sim.cores.task_seconds(task)
 
 
+def _microntt_data():
+    """Fixed-seed (L, N) residue matrix + basis for the micro-benchmark."""
+    import numpy as np
+
+    from repro.ntt.tables import get_twiddle_table
+    from repro.utils.primes import find_ntt_primes
+
+    moduli = tuple(find_ntt_primes(30, MICRONTT_LIMBS, MICRONTT_DEGREE))
+    # Warm the per-(q, n) twiddle cache both backends share, so the
+    # measurement compares execution strategies, not table builds.
+    for q in moduli:
+        get_twiddle_table(q, MICRONTT_DEGREE)
+    rng = np.random.default_rng(2023)
+    data = np.stack([
+        rng.integers(0, q, MICRONTT_DEGREE, dtype=np.uint64)
+        for q in moduli
+    ])
+    return data, moduli
+
+
+def _microntt_seconds(backend_name: str) -> float:
+    """Forward+inverse all-limbs NTT wall time on one kernel backend.
+
+    Returns 0.0 as the *simulated* time (the functional plane has no
+    simulated clock); the interesting number is the wall_seconds the
+    suite runner records, from which the speedup line is printed.
+    """
+    import numpy as np
+
+    from repro import kernels
+
+    data, moduli = _microntt_data()
+    backend = kernels.resolve(backend_name)
+    fwd = backend.ntt(data, moduli)
+    back = backend.intt(fwd, moduli)
+    if not np.array_equal(back, data):
+        raise AssertionError(
+            f"{backend_name} backend NTT/INTT roundtrip mismatch"
+        )
+    return 0.0
+
+
+def report_microntt_speedup(workloads: dict[str, dict]) -> None:
+    """Print batched-vs-reference wall-clock speedup for the micro NTT."""
+    names = {
+        b: f"microntt/N{MICRONTT_DEGREE}-L{MICRONTT_LIMBS}/{b}"
+        for b in MICRONTT_BACKENDS
+    }
+    if not all(name in workloads for name in names.values()):
+        return
+    ref = workloads[names["reference"]]["wall_seconds"]
+    bat = workloads[names["batched"]]["wall_seconds"]
+    if bat > 0:
+        print(
+            f"  microntt N={MICRONTT_DEGREE} L={MICRONTT_LIMBS}: "
+            f"batched is {ref / bat:.1f}x faster than reference "
+            f"({ref * 1e3:.1f} ms -> {bat * 1e3:.1f} ms wall)"
+        )
+
+
 def build_suite(smoke: bool) -> list[tuple[str, object]]:
     """The fixed measurement suite: ``[(workload name, thunk)]``."""
     ops = TABLE4_SMOKE if smoke else TABLE4_FULL
@@ -137,6 +201,11 @@ def build_suite(smoke: bool) -> list[tuple[str, object]]:
         )
     for k in radices:
         suite.append((f"fig10/k={k}", lambda k=k: _fig10_seconds(k)))
+    for b in MICRONTT_BACKENDS:
+        suite.append(
+            (f"microntt/N{MICRONTT_DEGREE}-L{MICRONTT_LIMBS}/{b}",
+             lambda b=b: _microntt_seconds(b))
+        )
     return suite
 
 
@@ -214,6 +283,7 @@ def main(argv=None) -> int:
     label = "smoke" if args.smoke else "full"
     print(f"running {label} suite...")
     workloads = run_suite(args.smoke)
+    report_microntt_speedup(workloads)
     today = date.today().isoformat()
     report = make_baseline(workloads, created=today, label=label)
 

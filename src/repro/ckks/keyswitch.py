@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import EvaluationError
 from repro.ckks.keys import SwitchKey
 from repro.ckks.params import CkksParameters
@@ -38,10 +39,8 @@ def lift_digit(digit_row: np.ndarray, target: RnsContext) -> RnsPolynomial:
     The digit values are bounded by their source prime (< 2^31), so a
     single remainder per target modulus reproduces the integer exactly.
     """
-    rows = [
-        digit_row % np.uint64(m) for m in target.moduli
-    ]
-    return RnsPolynomial(np.stack(rows), target, Domain.COEFFICIENT)
+    data = kernels.get_backend().lift(digit_row, target.moduli)
+    return RnsPolynomial(data, target, Domain.COEFFICIENT)
 
 
 def apply_switch_key(

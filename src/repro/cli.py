@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import kernels
 from repro.analysis import (
     fig7_operator_analysis,
     fig8_benchmark_op_breakdown,
@@ -323,11 +324,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path for trace/metrics JSON "
              "(default trace.json / metrics.json)",
     )
+    parser.add_argument(
+        "--kernel-backend", default=None,
+        choices=kernels.available_backends(),
+        help="functional-plane kernel backend (default: "
+             f"${kernels.BACKEND_ENV_VAR} or '{kernels.DEFAULT_BACKEND}')",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel_backend is not None:
+        kernels.set_backend(args.kernel_backend)
     if args.command == "list":
         print("available targets:")
         for name in sorted(COMMANDS):

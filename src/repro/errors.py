@@ -31,6 +31,10 @@ class AutomorphismError(ReproError, ValueError):
     """An automorphism/Galois-element precondition failed."""
 
 
+class KernelError(ReproError, ValueError):
+    """A kernel-backend precondition failed (unknown backend, bad shape)."""
+
+
 class EncryptionError(ReproError, RuntimeError):
     """Encryption, decryption or key generation failed."""
 

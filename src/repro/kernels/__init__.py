@@ -1,0 +1,121 @@
+"""Pluggable kernel backends for the NTT/RNS hot paths.
+
+The functional plane routes every arithmetic hot path — whole-matrix
+NTT/INTT, element-wise modular ops, Barrett reduction, digit lifting
+and the RNSconv cascade — through a *kernel backend*:
+
+- ``reference`` — the original per-limb code paths (the oracle).
+- ``batched``   — vectorized across all L limbs at once, the software
+  analogue of Poseidon's limb-parallel lane pipeline.
+
+Selection, in precedence order:
+
+1. explicit code: ``set_backend("batched")`` or
+   ``with use_backend("batched"): ...``;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable, read once at
+   first use;
+3. the default, ``reference``.
+
+Both backends are bit-identical on every operator (enforced by
+``tests/kernels/test_differential.py`` and the golden vectors under
+``tests/golden``), so any call site can run on either.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.errors import KernelError
+from repro.kernels.base import (
+    BatchedTwiddleTable,
+    KernelBackend,
+    get_batched_tables,
+)
+from repro.kernels.batched import BatchedBackend
+from repro.kernels.reference import ReferenceBackend
+
+#: Environment variable consulted on first use (see module docstring).
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Name used when neither code nor the environment chose a backend.
+DEFAULT_BACKEND = "reference"
+
+_REGISTRY: dict[str, KernelBackend] = {
+    ReferenceBackend.name: ReferenceBackend(),
+    BatchedBackend.name: BatchedBackend(),
+}
+
+_active: KernelBackend | None = None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve(backend: str | KernelBackend | None) -> KernelBackend:
+    """Map a name / instance / None (= currently active) to a backend."""
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, KernelBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (env var consulted on first call)."""
+    global _active
+    if _active is None:
+        name = os.environ.get(BACKEND_ENV_VAR, DEFAULT_BACKEND)
+        if name not in _REGISTRY:
+            raise KernelError(
+                f"{BACKEND_ENV_VAR}={name!r} names no kernel backend; "
+                f"available: {', '.join(available_backends())}"
+            )
+        _active = _REGISTRY[name]
+    return _active
+
+
+def set_backend(backend: str | KernelBackend) -> KernelBackend:
+    """Install ``backend`` as the process-wide active backend."""
+    global _active
+    _active = resolve(backend)
+    return _active
+
+
+@contextmanager
+def use_backend(backend: str | KernelBackend | None):
+    """Scoped backend override; ``None`` keeps the current selection."""
+    global _active
+    if backend is None:
+        yield get_backend()
+        return
+    previous = get_backend()
+    _active = resolve(backend)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "BatchedBackend",
+    "BatchedTwiddleTable",
+    "KernelBackend",
+    "ReferenceBackend",
+    "available_backends",
+    "get_batched_tables",
+    "get_backend",
+    "resolve",
+    "set_backend",
+    "use_backend",
+]

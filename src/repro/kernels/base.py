@@ -1,0 +1,179 @@
+"""Kernel backend interface and shared per-basis twiddle caches.
+
+A *kernel backend* owns the arithmetic hot paths of the functional
+plane: negacyclic NTT/INTT over whole ``(L, N)`` residue matrices and
+the element-wise modular operators (the software MA/MM/SBT cores).
+Everything above this layer — :class:`~repro.rns.poly.RnsPolynomial`,
+the basis-conversion cascade, keyswitching, the evaluator — calls
+through :func:`repro.kernels.get_backend` and never touches a limb
+loop directly, so swapping the execution strategy is a one-line (or
+one-env-var) decision.
+
+Two implementations ship:
+
+- ``reference`` (:mod:`repro.kernels.reference`) — the original
+  scalar/per-limb code paths, one numpy call per limb row.
+- ``batched`` (:mod:`repro.kernels.batched`) — vectorized across all
+  ``L`` limbs at once with per-limb modulus broadcasting, mirroring
+  how Poseidon's 512-lane pipeline consumes contiguous limb rows.
+
+Backends are required to be **bit-identical**: every operator computes
+an exact modular result (residues reduced into ``[0, q_i)``), so the
+output of any op is uniquely defined and the differential suite in
+``tests/kernels`` can assert equality element by element.
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.ntt.tables import get_twiddle_table
+from repro.obs import metrics
+from repro.utils.bitops import bit_reverse_permutation
+
+
+class BatchedTwiddleTable:
+    """Per-basis twiddle matrices: all limb tables stacked into (L, N).
+
+    The per-``(q, n)`` :class:`~repro.ntt.tables.TwiddleTable` objects
+    are shared with the reference kernels (same underlying cache), so
+    both backends literally read the same root-of-unity values.
+    """
+
+    def __init__(self, moduli: tuple[int, ...], n: int):
+        tables = [get_twiddle_table(q, n) for q in moduli]
+        self.moduli = moduli
+        self.n = n
+        #: (L, 1) and (L, 1, 1) modulus columns for broadcasting.
+        self.q_col = np.array(moduli, dtype=np.uint64)[:, None]
+        self.q_cube = self.q_col[:, :, None]
+        self.psi_powers = np.stack([t.psi_powers for t in tables])
+        self.ipsi_powers = np.stack([t.ipsi_powers for t in tables])
+        self.psi_powers_bitrev = np.stack(
+            [t.psi_powers_bitrev for t in tables]
+        )
+        self.ipsi_powers_bitrev = np.stack(
+            [t.ipsi_powers_bitrev for t in tables]
+        )
+        self.omega_powers = np.stack([t.omega_powers for t in tables])
+        # omega has order n, so omega^{-e} = omega^{n-e}: the inverse
+        # power table is a pure re-indexing of the forward one.
+        inv_idx = (self.n - np.arange(self.n)) % self.n
+        self.inv_omega_powers = self.omega_powers[:, inv_idx]
+        self.inv_n_col = np.array(
+            [t.inv_n for t in tables], dtype=np.uint64
+        )[:, None]
+        self.bitrev = bit_reverse_permutation(n)
+
+
+@lru_cache(maxsize=256)
+def get_batched_tables(moduli: tuple[int, ...], n: int) -> BatchedTwiddleTable:
+    """Process-wide cache of stacked twiddle tables per (basis, degree)."""
+    return BatchedTwiddleTable(moduli, n)
+
+
+def check_matrix(data: np.ndarray, moduli) -> np.ndarray:
+    """Validate an (L, N) residue matrix against its basis; return it."""
+    data = np.asarray(data, dtype=np.uint64)
+    if data.ndim != 2:
+        raise KernelError(f"expected an (L, N) matrix, got shape {data.shape}")
+    if data.shape[0] != len(moduli):
+        raise KernelError(
+            f"matrix has {data.shape[0]} rows but basis has "
+            f"{len(moduli)} moduli"
+        )
+    return data
+
+
+class KernelBackend(abc.ABC):
+    """Abstract kernel backend over (L, N) uint64 residue matrices.
+
+    All inputs are assumed reduced (row ``i`` in ``[0, moduli[i])``)
+    and all outputs are returned reduced — the invariant that makes
+    backend outputs unique and therefore bit-comparable.
+    """
+
+    #: Registry/display name ("reference", "batched").
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _count(self, op: str, elements: int) -> None:
+        """Per-backend op/element counters (kernels.<name>.<op>...)."""
+        reg = metrics.active()
+        if reg is not None:
+            reg.counter(f"kernels.{self.name}.{op}.calls").inc()
+            reg.counter(f"kernels.{self.name}.{op}.elements").inc(elements)
+
+    # ------------------------------------------------------------------
+    # NTT / INTT over all limbs
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def ntt(self, data: np.ndarray, moduli, *, radix_log2: int = 1) -> np.ndarray:
+        """Forward negacyclic NTT of every limb row (natural order)."""
+
+    @abc.abstractmethod
+    def intt(self, data: np.ndarray, moduli, *, radix_log2: int = 1) -> np.ndarray:
+        """Inverse negacyclic NTT of every limb row (natural order)."""
+
+    # ------------------------------------------------------------------
+    # Element-wise modular operators (MA / MM)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def mod_add(self, a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+        """Row-wise ``(a + b) mod q_i``."""
+
+    @abc.abstractmethod
+    def mod_sub(self, a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+        """Row-wise ``(a - b) mod q_i``."""
+
+    @abc.abstractmethod
+    def mod_neg(self, a: np.ndarray, moduli) -> np.ndarray:
+        """Row-wise ``(-a) mod q_i``."""
+
+    @abc.abstractmethod
+    def mod_mul(self, a: np.ndarray, b: np.ndarray, moduli) -> np.ndarray:
+        """Row-wise ``(a * b) mod q_i`` — the MM operator."""
+
+    @abc.abstractmethod
+    def mod_scalar_mul(self, a: np.ndarray, scalars, moduli) -> np.ndarray:
+        """Multiply row ``i`` by the Python-int ``scalars[i]`` mod q_i."""
+
+    # ------------------------------------------------------------------
+    # Reduction and basis plumbing (SBT / RNSconv building blocks)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def barrett_reduce(self, x: np.ndarray, moduli) -> np.ndarray:
+        """Barrett-reduce row ``i`` (products ``< q_i^2``) mod ``q_i``."""
+
+    @abc.abstractmethod
+    def lift(self, row: np.ndarray, moduli) -> np.ndarray:
+        """Exact lift of one digit row into every modulus: (N,) -> (L, N)."""
+
+    @abc.abstractmethod
+    def basis_convert(
+        self,
+        y: np.ndarray,
+        table: np.ndarray,
+        target_moduli,
+    ) -> np.ndarray:
+        """The RNSconv MM+MA cascade (paper Fig. 4, Eq. 1).
+
+        Args:
+            y: (l, N) source rows, already multiplied by
+               ``q_hat_j^{-1} mod q_j``.
+            table: (l, k) matrix with ``table[j, i] = (Q/q_j) mod p_i``.
+            target_moduli: the k target primes.
+
+        Returns:
+            (k, N) matrix ``out[i] = sum_j (y_j mod p_i) * table[j, i]
+            mod p_i``.
+        """
+
+    def __repr__(self) -> str:
+        return f"<KernelBackend {self.name!r}>"

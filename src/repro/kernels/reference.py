@@ -1,0 +1,140 @@
+"""The ``reference`` kernel backend: one numpy call per limb row.
+
+This is the original execution strategy of the functional plane — a
+Python-level loop over limbs, each limb handled by the scalar kernels
+in :mod:`repro.ntt.radix2` / :mod:`repro.ntt.fusion` and the
+per-modulus operators in :mod:`repro.rns.modular`. It stays the
+correctness oracle the ``batched`` backend is differentially tested
+against.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, check_matrix
+from repro.ntt.fusion import FusedNtt
+from repro.ntt.radix2 import intt_radix2, ntt_radix2
+from repro.ntt.tables import get_twiddle_table
+from repro.rns.barrett import GLOBAL_SBT_BANK
+from repro.rns.modular import (
+    mod_add,
+    mod_mul,
+    mod_neg,
+    mod_scalar_mul,
+    mod_sub,
+)
+
+
+@lru_cache(maxsize=512)
+def _fused(q: int, n: int, radix_log2: int) -> FusedNtt:
+    return FusedNtt(q, n, radix_log2)
+
+
+class ReferenceBackend(KernelBackend):
+    """Scalar/per-limb kernels — unchanged semantics, limb-at-a-time."""
+
+    name = "reference"
+
+    # ------------------------------------------------------------------
+    def ntt(self, data, moduli, *, radix_log2: int = 1):
+        data = check_matrix(data, moduli)
+        n = data.shape[1]
+        self._count("ntt", data.size)
+        if radix_log2 >= 2:
+            rows = [
+                _fused(q, n, radix_log2).forward(data[i])
+                for i, q in enumerate(moduli)
+            ]
+        else:
+            rows = [
+                ntt_radix2(data[i], get_twiddle_table(q, n))
+                for i, q in enumerate(moduli)
+            ]
+        return np.stack(rows)
+
+    def intt(self, data, moduli, *, radix_log2: int = 1):
+        data = check_matrix(data, moduli)
+        n = data.shape[1]
+        self._count("intt", data.size)
+        if radix_log2 >= 2:
+            rows = [
+                _fused(q, n, radix_log2).inverse(data[i])
+                for i, q in enumerate(moduli)
+            ]
+        else:
+            rows = [
+                intt_radix2(data[i], get_twiddle_table(q, n))
+                for i, q in enumerate(moduli)
+            ]
+        return np.stack(rows)
+
+    # ------------------------------------------------------------------
+    def mod_add(self, a, b, moduli):
+        a = check_matrix(a, moduli)
+        self._count("elementwise", a.size)
+        return np.stack(
+            [mod_add(a[i], b[i], q) for i, q in enumerate(moduli)]
+        )
+
+    def mod_sub(self, a, b, moduli):
+        a = check_matrix(a, moduli)
+        self._count("elementwise", a.size)
+        return np.stack(
+            [mod_sub(a[i], b[i], q) for i, q in enumerate(moduli)]
+        )
+
+    def mod_neg(self, a, moduli):
+        a = check_matrix(a, moduli)
+        self._count("elementwise", a.size)
+        return np.stack([mod_neg(a[i], q) for i, q in enumerate(moduli)])
+
+    def mod_mul(self, a, b, moduli):
+        a = check_matrix(a, moduli)
+        self._count("elementwise", a.size)
+        return np.stack(
+            [mod_mul(a[i], b[i], q) for i, q in enumerate(moduli)]
+        )
+
+    def mod_scalar_mul(self, a, scalars, moduli):
+        a = check_matrix(a, moduli)
+        self._count("elementwise", a.size)
+        return np.stack(
+            [
+                mod_scalar_mul(a[i], int(s), q)
+                for i, (q, s) in enumerate(zip(moduli, scalars))
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    def barrett_reduce(self, x, moduli):
+        x = np.asarray(x, dtype=np.uint64)
+        self._count("barrett", x.size)
+        return np.stack(
+            [
+                GLOBAL_SBT_BANK.get(q).reduce(x[i])
+                for i, q in enumerate(moduli)
+            ]
+        )
+
+    def lift(self, row, moduli):
+        row = np.asarray(row, dtype=np.uint64)
+        self._count("lift", row.size * len(moduli))
+        return np.stack([row % np.uint64(q) for q in moduli])
+
+    def basis_convert(self, y, table, target_moduli):
+        y = np.asarray(y, dtype=np.uint64)
+        table = np.asarray(table, dtype=np.uint64)
+        src_limbs, n = y.shape
+        self._count("basis_convert", n * len(target_moduli))
+        out = np.zeros((len(target_moduli), n), dtype=np.uint64)
+        for i, p in enumerate(target_moduli):
+            acc = np.zeros(n, dtype=np.uint64)
+            p64 = np.uint64(p)
+            for j in range(src_limbs):
+                term = mod_mul(y[j] % p64, table[j, i], p)
+                acc = (acc + term) % p64
+            out[i] = acc
+        return out

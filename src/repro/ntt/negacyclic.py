@@ -14,6 +14,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import NTTError
 from repro.ntt.fusion import FusedNtt
 from repro.ntt.radix2 import intt_radix2, ntt_radix2
@@ -79,26 +80,51 @@ def get_transformer(q: int, n: int, radix_log2: int = 1) -> NegacyclicTransforme
     return NegacyclicTransformer(q, n, radix_log2=radix_log2)
 
 
-def ntt_negacyclic(poly: RnsPolynomial, *, radix_log2: int = 1) -> RnsPolynomial:
-    """Transform an RNS polynomial to the NTT domain (all limbs)."""
+def _count_poly_transforms(direction: str, limbs: int, degree: int) -> None:
+    """Semantic TAM counters for an all-limbs transform, any backend."""
+    reg = metrics.active()
+    if reg is not None:
+        reg.counter(f"ntt.transforms.{direction}").inc(limbs)
+        reg.counter("ntt.butterflies").inc(
+            limbs * (degree // 2) * ilog2(degree)
+        )
+
+
+def ntt_negacyclic(
+    poly: RnsPolynomial,
+    *,
+    radix_log2: int = 1,
+    backend: str | kernels.KernelBackend | None = None,
+) -> RnsPolynomial:
+    """Transform an RNS polynomial to the NTT domain (all limbs).
+
+    Routed through the active kernel backend (``reference`` per-limb
+    loop or ``batched`` limb-parallel matrix kernel); ``backend``
+    overrides the process-wide selection for this call.
+    """
     if poly.domain is not Domain.COEFFICIENT:
         raise NTTError("polynomial is already in the NTT domain")
-    rows = [
-        get_transformer(q, poly.degree, radix_log2).forward(poly.data[i])
-        for i, q in enumerate(poly.context.moduli)
-    ]
-    return RnsPolynomial(np.stack(rows), poly.context, Domain.NTT)
+    _count_poly_transforms("forward", poly.level_count, poly.degree)
+    data = kernels.resolve(backend).ntt(
+        poly.data, poly.context.moduli, radix_log2=radix_log2
+    )
+    return RnsPolynomial(data, poly.context, Domain.NTT)
 
 
-def intt_negacyclic(poly: RnsPolynomial, *, radix_log2: int = 1) -> RnsPolynomial:
+def intt_negacyclic(
+    poly: RnsPolynomial,
+    *,
+    radix_log2: int = 1,
+    backend: str | kernels.KernelBackend | None = None,
+) -> RnsPolynomial:
     """Transform an RNS polynomial back to the coefficient domain."""
     if poly.domain is not Domain.NTT:
         raise NTTError("polynomial is already in the coefficient domain")
-    rows = [
-        get_transformer(q, poly.degree, radix_log2).inverse(poly.data[i])
-        for i, q in enumerate(poly.context.moduli)
-    ]
-    return RnsPolynomial(np.stack(rows), poly.context, Domain.COEFFICIENT)
+    _count_poly_transforms("inverse", poly.level_count, poly.degree)
+    data = kernels.resolve(backend).intt(
+        poly.data, poly.context.moduli, radix_log2=radix_log2
+    )
+    return RnsPolynomial(data, poly.context, Domain.COEFFICIENT)
 
 
 def poly_multiply(a: RnsPolynomial, b: RnsPolynomial) -> RnsPolynomial:

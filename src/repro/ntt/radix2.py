@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import NTTError
 from repro.ntt.tables import TwiddleTable, get_twiddle_table
-from repro.utils.bitops import ilog2
+from repro.utils.bitops import bit_reverse_permutation, ilog2
 
 
 def _check_input(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
@@ -48,15 +48,17 @@ def ntt_radix2(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
             j1 = 2 * i * t
             j2 = j1 + t
             w = psi_br[m + i]
-            lo = a[j1:j2].copy()
+            # lo stays a view: both outputs are materialized before the
+            # write-back, so no defensive copy is needed.
+            lo = a[j1:j2]
             hi = (a[j2:j2 + t] * w) % q
-            a[j1:j2] = (lo + hi) % q
-            a[j2:j2 + t] = (lo + q - hi) % q
+            new_lo = (lo + hi) % q
+            new_hi = (lo + q - hi) % q
+            a[j1:j2] = new_lo
+            a[j2:j2 + t] = new_hi
         m <<= 1
     # The merged CT network leaves results in bit-reversed order;
     # normalize to natural order so all kernels share one convention.
-    from repro.utils.bitops import bit_reverse_permutation
-
     return a[bit_reverse_permutation(n)]
 
 
@@ -71,8 +73,6 @@ def intt_radix2(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
 
     # The GS network consumes bit-reversed input (the CT partner's raw
     # output); re-apply the permutation our forward kernel normalized.
-    from repro.utils.bitops import bit_reverse_permutation
-
     a = a[bit_reverse_permutation(n)]
     t = 1
     m = n
@@ -82,10 +82,12 @@ def intt_radix2(values: np.ndarray, table: TwiddleTable) -> np.ndarray:
         for i in range(h):
             j2 = j1 + t
             w = ipsi_br[h + i]
-            lo = a[j1:j2].copy()
+            lo = a[j1:j2]
             hi = a[j2:j2 + t]
-            a[j1:j2] = (lo + hi) % q
-            a[j2:j2 + t] = ((lo + q - hi) * w) % q
+            new_lo = (lo + hi) % q
+            new_hi = ((lo + q - hi) * w) % q
+            a[j1:j2] = new_lo
+            a[j2:j2 + t] = new_hi
             j1 += 2 * t
         t <<= 1
         m = h
@@ -106,8 +108,6 @@ def ntt_radix2_cyclic(values: np.ndarray, q: int, omega: int) -> np.ndarray:
     if pow(omega, n, q) != 1 or pow(omega, n // 2, q) == 1:
         raise NTTError(f"omega={omega} is not a primitive {n}-th root mod {q}")
     # Bit-reverse input for in-place DIT.
-    from repro.utils.bitops import bit_reverse_permutation
-
     a = a[bit_reverse_permutation(n)]
     q64 = np.uint64(q)
     length = 2

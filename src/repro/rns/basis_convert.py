@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import RNSError
 from repro.rns.context import RnsContext
-from repro.rns.modular import mod_inverse, mod_mul
+from repro.rns.modular import mod_inverse
 from repro.rns.poly import Domain, RnsPolynomial
 
 
@@ -41,8 +42,6 @@ class BasisConverter:
             )
         self.source = source
         self.target = target
-        # [ (Q/q_j)^-1 mod q_j ] per source limb.
-        self._q_hat_inv = np.array(source.punctured_inverses, dtype=np.uint64)
         # table[j][i] = (Q/q_j) mod p_i
         self._q_hat_mod_target = np.array(
             [
@@ -68,24 +67,15 @@ class BasisConverter:
         if poly.domain is not Domain.COEFFICIENT:
             raise RNSError("RNSconv operates in the coefficient domain")
 
-        n = poly.degree
-        src_limbs = self.source.level_count
-        k = self.target.level_count
-
+        backend = kernels.get_backend()
         # Step 1 (MM): y_j = [a_j * q_hat_j^{-1}]_{q_j}  per source limb.
-        y = np.empty((src_limbs, n), dtype=np.uint64)
-        for j, q in enumerate(self.source.moduli):
-            y[j] = mod_mul(poly.data[j], self._q_hat_inv[j], q)
-
+        y = backend.mod_scalar_mul(
+            poly.data, self.source.punctured_inverses, self.source.moduli
+        )
         # Step 2 (MM + MA cascade): accumulate sum_j y_j * (Q/q_j) mod p_i.
-        out = np.zeros((k, n), dtype=np.uint64)
-        for i, p in enumerate(self.target.moduli):
-            acc = np.zeros(n, dtype=np.uint64)
-            p64 = np.uint64(p)
-            for j in range(src_limbs):
-                term = mod_mul(y[j] % p64, self._q_hat_mod_target[j, i], p)
-                acc = (acc + term) % p64
-            out[i] = acc
+        out = backend.basis_convert(
+            y, self._q_hat_mod_target, self.target.moduli
+        )
         return RnsPolynomial(out, self.target, Domain.COEFFICIENT)
 
 
@@ -150,12 +140,13 @@ def rescale(poly: RnsPolynomial) -> RnsPolynomial:
         raise RNSError("rescale operates in the coefficient domain")
 
     last = ctx.level_count - 1
-    last_row = poly.data[last]
     new_ctx = ctx.drop_last()
-    rows = []
-    for j, q in enumerate(new_ctx.moduli):
-        inv = ctx.last_limb_inverses[j]
-        q64 = np.uint64(q)
-        diff = (poly.data[j] + q64 - (last_row % q64)) % q64
-        rows.append(mod_mul(diff, np.uint64(inv), q))
-    return RnsPolynomial(np.stack(rows), new_ctx, Domain.COEFFICIENT)
+    backend = kernels.get_backend()
+    # a_{l-1} lifted into every surviving limb, then the per-limb
+    # (a_j - a_{l-1}) * q_{l-1}^{-1} — all whole-matrix kernel calls.
+    lifted = backend.lift(poly.data[last], new_ctx.moduli)
+    diff = backend.mod_sub(poly.data[:last], lifted, new_ctx.moduli)
+    data = backend.mod_scalar_mul(
+        diff, ctx.last_limb_inverses, new_ctx.moduli
+    )
+    return RnsPolynomial(data, new_ctx, Domain.COEFFICIENT)

@@ -16,8 +16,19 @@ import numpy as np
 
 from repro.errors import RNSError
 from repro.rns.context import RnsContext
-from repro.rns.modular import mod_add, mod_mul, mod_neg, mod_scalar_mul, mod_sub
 from repro.utils.bitops import is_power_of_two
+
+
+def _backend():
+    """The active kernel backend, imported lazily.
+
+    ``repro.kernels`` imports the NTT subpackage, whose façade imports
+    this module back — a top-level import here would leave one of the
+    three partially initialized depending on entry point.
+    """
+    from repro import kernels
+
+    return kernels.get_backend()
 
 
 class Domain(enum.Enum):
@@ -133,37 +144,33 @@ class RnsPolynomial:
                 f"mismatched domains: {self.domain} vs {other.domain}"
             )
 
-    def _map_limbs(self, op, other: "RnsPolynomial") -> "RnsPolynomial":
+    def _map_limbs(self, op_name: str, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        rows = [
-            op(self.data[i], other.data[i], q)
-            for i, q in enumerate(self.context.moduli)
-        ]
-        return RnsPolynomial(np.stack(rows), self.context, self.domain)
+        op = getattr(_backend(), op_name)
+        data = op(self.data, other.data, self.context.moduli)
+        return RnsPolynomial(data, self.context, self.domain)
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        return self._map_limbs(mod_add, other)
+        return self._map_limbs("mod_add", other)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        return self._map_limbs(mod_sub, other)
+        return self._map_limbs("mod_sub", other)
 
     def __neg__(self) -> "RnsPolynomial":
-        rows = [
-            mod_neg(self.data[i], q) for i, q in enumerate(self.context.moduli)
-        ]
-        return RnsPolynomial(np.stack(rows), self.context, self.domain)
+        data = _backend().mod_neg(self.data, self.context.moduli)
+        return RnsPolynomial(data, self.context, self.domain)
 
     def hadamard(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Element-wise product — polynomial product iff both are in NTT."""
-        return self._map_limbs(mod_mul, other)
+        return self._map_limbs("mod_mul", other)
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
         """Multiply every residue by a Python-int scalar (any domain)."""
-        rows = [
-            mod_scalar_mul(self.data[i], scalar, q)
-            for i, q in enumerate(self.context.moduli)
-        ]
-        return RnsPolynomial(np.stack(rows), self.context, self.domain)
+        scalars = [int(scalar)] * self.level_count
+        data = _backend().mod_scalar_mul(
+            self.data, scalars, self.context.moduli
+        )
+        return RnsPolynomial(data, self.context, self.domain)
 
     def scalar_mul_per_limb(self, scalars) -> "RnsPolynomial":
         """Multiply limb ``i`` by ``scalars[i]`` (rescale/ModDown helper)."""
@@ -171,11 +178,10 @@ class RnsPolynomial:
             raise RNSError(
                 f"need {self.level_count} scalars, got {len(scalars)}"
             )
-        rows = [
-            mod_scalar_mul(self.data[i], int(s), q)
-            for i, (q, s) in enumerate(zip(self.context.moduli, scalars))
-        ]
-        return RnsPolynomial(np.stack(rows), self.context, self.domain)
+        data = _backend().mod_scalar_mul(
+            self.data, [int(s) for s in scalars], self.context.moduli
+        )
+        return RnsPolynomial(data, self.context, self.domain)
 
     # ------------------------------------------------------------------
     # Limb manipulation

@@ -1,0 +1,192 @@
+"""Differential suite: batched must be bit-identical to reference.
+
+Every instrumented kernel op is driven through both backends on
+randomized (fixed-seed) inputs over every functional-plane preset from
+:mod:`repro.ckks.presets` — full chain, keyswitch (chain + aux) and
+auxiliary bases — and the outputs are compared with
+``assert_array_equal`` (exact equality, not allclose). Because all ops
+produce uniquely-defined residues in ``[0, q)``, any mathematically
+correct implementation must match bit for bit; a single differing word
+is a kernel bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.ckks import presets
+from repro.rns.context import RnsContext
+
+REFERENCE = kernels.resolve("reference")
+BATCHED = kernels.resolve("batched")
+
+_PRESETS = {
+    "toy": lambda: presets.toy(),
+    "demo": lambda: presets.demo(),
+    "bootstrap": lambda: presets.bootstrap_capable()[0],
+}
+
+
+def _bases(params):
+    """The three basis/degree shapes the evaluator actually touches."""
+    top = params.max_level
+    return {
+        "chain": params.context_at_level(top).moduli,
+        "key": params.key_context_at_level(top).moduli,
+        "aux": params.aux_context.moduli,
+    }
+
+
+def _cases():
+    for preset_name, make in _PRESETS.items():
+        params = make()
+        for basis_name, moduli in _bases(params).items():
+            yield pytest.param(
+                moduli, params.degree, id=f"{preset_name}-{basis_name}"
+            )
+
+
+CASES = list(_cases())
+
+
+def _matrix(moduli, degree, seed):
+    rng = np.random.default_rng(seed)
+    return np.stack(
+        [rng.integers(0, q, degree, dtype=np.uint64) for q in moduli]
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+@pytest.mark.parametrize("radix_log2", (1, 2, 3))
+def test_ntt_intt_differential(moduli, degree, radix_log2):
+    data = _matrix(moduli, degree, seed=radix_log2)
+    ref_fwd = REFERENCE.ntt(data, moduli, radix_log2=radix_log2)
+    bat_fwd = BATCHED.ntt(data, moduli, radix_log2=radix_log2)
+    np.testing.assert_array_equal(ref_fwd, bat_fwd)
+    np.testing.assert_array_equal(
+        REFERENCE.intt(ref_fwd, moduli, radix_log2=radix_log2),
+        BATCHED.intt(bat_fwd, moduli, radix_log2=radix_log2),
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+@pytest.mark.parametrize("op", ("mod_add", "mod_sub", "mod_mul"))
+def test_binary_elementwise_differential(moduli, degree, op):
+    a = _matrix(moduli, degree, seed=11)
+    b = _matrix(moduli, degree, seed=13)
+    np.testing.assert_array_equal(
+        getattr(REFERENCE, op)(a, b, moduli),
+        getattr(BATCHED, op)(a, b, moduli),
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+def test_neg_differential(moduli, degree):
+    a = _matrix(moduli, degree, seed=17)
+    # Force some zero residues: negation of 0 must stay 0, not become q.
+    a[:, :4] = 0
+    np.testing.assert_array_equal(
+        REFERENCE.mod_neg(a, moduli), BATCHED.mod_neg(a, moduli)
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+def test_scalar_mul_differential(moduli, degree):
+    a = _matrix(moduli, degree, seed=19)
+    rng = np.random.default_rng(23)
+    scalars = [int(rng.integers(0, q)) for q in moduli]
+    np.testing.assert_array_equal(
+        REFERENCE.mod_scalar_mul(a, scalars, moduli),
+        BATCHED.mod_scalar_mul(a, scalars, moduli),
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+def test_barrett_reduce_differential(moduli, degree):
+    rng = np.random.default_rng(29)
+    # Inputs up to q^2 — the post-multiply range Barrett is built for.
+    x = np.stack([
+        rng.integers(0, int(q) * int(q), degree, dtype=np.uint64)
+        for q in moduli
+    ])
+    ref = REFERENCE.barrett_reduce(x, moduli)
+    bat = BATCHED.barrett_reduce(x, moduli)
+    np.testing.assert_array_equal(ref, bat)
+    for i, q in enumerate(moduli):
+        np.testing.assert_array_equal(ref[i], x[i] % np.uint64(q))
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+def test_lift_differential(moduli, degree):
+    rng = np.random.default_rng(31)
+    row = rng.integers(0, min(moduli), degree, dtype=np.uint64)
+    np.testing.assert_array_equal(
+        REFERENCE.lift(row, moduli), BATCHED.lift(row, moduli)
+    )
+
+
+@pytest.mark.parametrize("preset_name", sorted(_PRESETS))
+def test_basis_convert_differential(preset_name):
+    """RNSconv inner cascade: chain basis -> aux basis, both backends."""
+    params = _PRESETS[preset_name]()
+    source = params.context_at_level(params.max_level)
+    target = params.aux_context
+    y = _matrix(source.moduli, params.degree, seed=37)
+    table = np.array(
+        [
+            [q_hat % p for p in target.moduli]
+            for q_hat in source.punctured_products
+        ],
+        dtype=np.uint64,
+    )
+    np.testing.assert_array_equal(
+        REFERENCE.basis_convert(y, table, target.moduli),
+        BATCHED.basis_convert(y, table, target.moduli),
+    )
+
+
+@pytest.mark.parametrize("moduli,degree", CASES)
+def test_edge_values_differential(moduli, degree):
+    """All-zero and all-(q-1) matrices — the residue range extremes."""
+    qcol = np.array(moduli, dtype=np.uint64)[:, None]
+    zeros = np.zeros((len(moduli), degree), dtype=np.uint64)
+    tops = np.broadcast_to(qcol - 1, zeros.shape).copy()
+    for a, b in ((zeros, zeros), (tops, tops), (zeros, tops)):
+        for op in ("mod_add", "mod_sub", "mod_mul"):
+            np.testing.assert_array_equal(
+                getattr(REFERENCE, op)(a, b, moduli),
+                getattr(BATCHED, op)(a, b, moduli),
+            )
+    np.testing.assert_array_equal(
+        REFERENCE.intt(REFERENCE.ntt(tops, moduli), moduli), tops
+    )
+    np.testing.assert_array_equal(
+        BATCHED.intt(BATCHED.ntt(tops, moduli), moduli), tops
+    )
+
+
+def test_all_presets_cover_wide_and_narrow_primes():
+    """The case matrix must exercise both fused reduction paths."""
+    seen_bits = set()
+    for moduli, _ in (c.values for c in CASES):
+        seen_bits.update(int(q).bit_length() for q in moduli)
+    assert 30 in seen_bits and 31 in seen_bits
+
+
+def test_mixed_context_spot_check():
+    """A hand-built disjoint basis mixing widths, degree 512."""
+    from repro.utils.primes import find_ntt_primes
+
+    degree = 512
+    moduli = tuple(
+        find_ntt_primes(30, 3, degree) + find_ntt_primes(31, 2, degree)
+    )
+    RnsContext(moduli)  # validates the basis is legal
+    data = _matrix(moduli, degree, seed=41)
+    for k in (1, 2, 3):
+        np.testing.assert_array_equal(
+            REFERENCE.ntt(data, moduli, radix_log2=k),
+            BATCHED.ntt(data, moduli, radix_log2=k),
+        )

@@ -122,6 +122,8 @@ class TestRegressDriver:
             "table6/LR",
             "fig10/k=2",
             "fig10/k=3",
+            "microntt/N4096-L8/reference",
+            "microntt/N4096-L8/batched",
         ]
         full = {name for name, _ in regress.build_suite(smoke=False)}
         assert set(names) <= full

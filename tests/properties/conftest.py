@@ -1,0 +1,34 @@
+"""Hypothesis profiles for the property suite.
+
+Two profiles are registered:
+
+``ci``
+    Deterministic (derandomized) with a fixed example budget and no
+    deadline — what the dedicated CI property job runs via
+    ``--hypothesis-profile=ci`` so failures reproduce exactly.
+``dev``
+    The local default: smaller example budget for fast iteration,
+    random seeds so repeated local runs explore new inputs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

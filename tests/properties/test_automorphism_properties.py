@@ -1,0 +1,104 @@
+"""Galois automorphism properties: composition, identity, NTT transport.
+
+The key algebraic fact (paper Eq. 4 and the HFAuto discussion):
+``sigma_k : a(x) -> a(x^k)`` for odd ``k`` forms a group isomorphic to
+``(Z/2N)^*``, with ``sigma_i ∘ sigma_j == sigma_{i*j mod 2N}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.automorphism.mapping import (
+    apply_automorphism_eval,
+    apply_automorphism_poly,
+    compose_galois,
+)
+from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+
+from ._support import BACKENDS, random_matrix, rns_shapes
+
+
+@st.composite
+def poly_and_galois(draw):
+    """A coefficient-domain polynomial plus two odd Galois elements."""
+    moduli, degree = draw(rns_shapes(max_limbs=3))
+    ctx = RnsContext(moduli)
+    seed = draw(st.integers(0, 2**32 - 1))
+    poly = RnsPolynomial(
+        random_matrix(moduli, degree, seed), ctx, Domain.COEFFICIENT
+    )
+    k1 = 2 * draw(st.integers(0, degree - 1)) + 1
+    k2 = 2 * draw(st.integers(0, degree - 1)) + 1
+    return poly, k1, k2
+
+
+@given(drawn=poly_and_galois())
+def test_composition_law_coefficient_domain(drawn):
+    """sigma_{k1} ∘ sigma_{k2} == sigma_{k1*k2 mod 2N} (Eq. 4)."""
+    poly, k1, k2 = drawn
+    n = poly.degree
+    composed = apply_automorphism_poly(apply_automorphism_poly(poly, k2), k1)
+    direct = apply_automorphism_poly(poly, compose_galois(n, k1, k2))
+    np.testing.assert_array_equal(composed.data, direct.data)
+
+
+@given(drawn=poly_and_galois())
+def test_identity_element(drawn):
+    poly, _, _ = drawn
+    np.testing.assert_array_equal(
+        apply_automorphism_poly(poly, 1).data, poly.data
+    )
+
+
+@given(drawn=poly_and_galois())
+def test_inverse_element(drawn):
+    """sigma_k composed with sigma_{k^-1 mod 2N} is the identity."""
+    poly, k1, _ = drawn
+    n = poly.degree
+    k_inv = pow(k1, -1, 2 * n)
+    roundtrip = apply_automorphism_poly(
+        apply_automorphism_poly(poly, k1), k_inv
+    )
+    np.testing.assert_array_equal(roundtrip.data, poly.data)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(drawn=poly_and_galois())
+def test_eval_domain_transport(backend_name, drawn):
+    """NTT(sigma_k(a)) == eval-domain permutation of NTT(a).
+
+    This is the property hoisted keyswitching relies on: rotating an
+    NTT-resident digit is a pure gather, no sign flips.
+    """
+    poly, k1, _ = drawn
+    with kernels.use_backend(backend_name):
+        via_coeff = ntt_negacyclic(apply_automorphism_poly(poly, k1))
+        via_eval = apply_automorphism_eval(ntt_negacyclic(poly), k1)
+        np.testing.assert_array_equal(via_coeff.data, via_eval.data)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(drawn=poly_and_galois())
+def test_eval_domain_composition(backend_name, drawn):
+    """The composition law also holds for the NTT-domain permutation."""
+    poly, k1, k2 = drawn
+    n = poly.degree
+    with kernels.use_backend(backend_name):
+        fwd = ntt_negacyclic(poly)
+        composed = apply_automorphism_eval(
+            apply_automorphism_eval(fwd, k2), k1
+        )
+        direct = apply_automorphism_eval(fwd, compose_galois(n, k1, k2))
+        np.testing.assert_array_equal(composed.data, direct.data)
+        # And back in the coefficient domain the results still agree.
+        np.testing.assert_array_equal(
+            intt_negacyclic(composed).data,
+            apply_automorphism_poly(poly, compose_galois(n, k1, k2)).data,
+        )

@@ -1,0 +1,105 @@
+"""Property-based NTT/INTT invariants, checked on every kernel backend.
+
+The three load-bearing properties:
+
+1. ``INTT(NTT(a)) == a`` — the transforms are mutually inverse.
+2. ``INTT(NTT(a) ⊙ NTT(b)) == a * b mod (x^n + 1)`` against a big-int
+   O(n^2) oracle — the transform actually diagonalizes the negacyclic
+   ring, not just *some* invertible map.
+3. Fused radix-2^k output is bit-identical to radix-2 for k in {1,2,3}
+   — fusion changes the reduction schedule, never the value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import kernels
+
+from ._support import BACKENDS, negacyclic_convolution, residue_matrices
+
+FUSION_RADICES = (1, 2, 3)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("radix_log2", FUSION_RADICES)
+@given(drawn=residue_matrices())
+def test_ntt_intt_roundtrip(backend_name, radix_log2, drawn):
+    data, moduli = drawn
+    backend = kernels.resolve(backend_name)
+    fwd = backend.ntt(data, moduli, radix_log2=radix_log2)
+    back = backend.intt(fwd, moduli, radix_log2=radix_log2)
+    np.testing.assert_array_equal(back, data)
+    assert back.dtype == np.uint64
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(drawn=residue_matrices(max_limbs=2), seed=st.integers(0, 2**32 - 1))
+def test_pointwise_product_is_negacyclic_convolution(
+    backend_name, drawn, seed
+):
+    a, moduli = drawn
+    rng = np.random.default_rng(seed)
+    b = np.stack(
+        [rng.integers(0, q, a.shape[1], dtype=np.uint64) for q in moduli]
+    )
+    backend = kernels.resolve(backend_name)
+    prod_ntt = backend.mod_mul(
+        backend.ntt(a, moduli), backend.ntt(b, moduli), moduli
+    )
+    got = backend.intt(prod_ntt, moduli)
+    for i, q in enumerate(moduli):
+        expected = negacyclic_convolution(a[i], b[i], q)
+        np.testing.assert_array_equal(got[i], np.array(expected, np.uint64))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("radix_log2", (2, 3))
+@given(drawn=residue_matrices())
+def test_fused_radix_matches_radix2(backend_name, radix_log2, drawn):
+    data, moduli = drawn
+    backend = kernels.resolve(backend_name)
+    np.testing.assert_array_equal(
+        backend.ntt(data, moduli, radix_log2=radix_log2),
+        backend.ntt(data, moduli, radix_log2=1),
+    )
+    np.testing.assert_array_equal(
+        backend.intt(data, moduli, radix_log2=radix_log2),
+        backend.intt(data, moduli, radix_log2=1),
+    )
+
+
+@pytest.mark.parametrize("radix_log2", FUSION_RADICES)
+@given(drawn=residue_matrices())
+def test_backends_bit_identical_on_transforms(radix_log2, drawn):
+    data, moduli = drawn
+    ref = kernels.resolve("reference")
+    bat = kernels.resolve("batched")
+    np.testing.assert_array_equal(
+        ref.ntt(data, moduli, radix_log2=radix_log2),
+        bat.ntt(data, moduli, radix_log2=radix_log2),
+    )
+    np.testing.assert_array_equal(
+        ref.intt(data, moduli, radix_log2=radix_log2),
+        bat.intt(data, moduli, radix_log2=radix_log2),
+    )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(drawn=residue_matrices(), seed=st.integers(0, 2**32 - 1))
+def test_ntt_is_linear(backend_name, drawn, seed):
+    """NTT(a + b) == NTT(a) + NTT(b) — transforms are ring-additive."""
+    a, moduli = drawn
+    rng = np.random.default_rng(seed)
+    b = np.stack(
+        [rng.integers(0, q, a.shape[1], dtype=np.uint64) for q in moduli]
+    )
+    backend = kernels.resolve(backend_name)
+    lhs = backend.ntt(backend.mod_add(a, b, moduli), moduli)
+    rhs = backend.mod_add(
+        backend.ntt(a, moduli), backend.ntt(b, moduli), moduli
+    )
+    np.testing.assert_array_equal(lhs, rhs)

@@ -1,0 +1,107 @@
+"""RNS ring axioms on :class:`RnsPolynomial`, per kernel backend.
+
+``R_Q = Z_Q[x]/(x^n + 1)`` split over an RNS basis is still a
+commutative ring; these tests check the axioms through the public
+polynomial API (so the whole backend dispatch path is exercised, not
+the kernels in isolation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.ntt.negacyclic import poly_multiply
+from repro.rns.context import RnsContext
+from repro.rns.poly import Domain, RnsPolynomial
+
+from ._support import BACKENDS, random_matrix, rns_shapes
+
+
+@st.composite
+def poly_triples(draw):
+    """Three random coefficient-domain polynomials over one basis."""
+    moduli, degree = draw(rns_shapes(max_limbs=3))
+    ctx = RnsContext(moduli)
+    seeds = [draw(st.integers(0, 2**32 - 1)) for _ in range(3)]
+    polys = [
+        RnsPolynomial(
+            random_matrix(moduli, degree, seed), ctx, Domain.COEFFICIENT
+        )
+        for seed in seeds
+    ]
+    return polys
+
+
+def assert_poly_equal(a: RnsPolynomial, b: RnsPolynomial) -> None:
+    np.testing.assert_array_equal(a.data, b.data)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(polys=poly_triples())
+def test_additive_group_axioms(backend_name, polys):
+    a, b, c = polys
+    with kernels.use_backend(backend_name):
+        assert_poly_equal(a + b, b + a)
+        assert_poly_equal((a + b) + c, a + (b + c))
+        zero = a - a
+        assert not zero.data.any()
+        assert_poly_equal(a + (-a), zero)
+        assert_poly_equal(a - b, a + (-b))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(polys=poly_triples())
+def test_multiplicative_ring_axioms(backend_name, polys):
+    a, b, c = polys
+    with kernels.use_backend(backend_name):
+        assert_poly_equal(poly_multiply(a, b), poly_multiply(b, a))
+        assert_poly_equal(
+            poly_multiply(poly_multiply(a, b), c),
+            poly_multiply(a, poly_multiply(b, c)),
+        )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(polys=poly_triples())
+def test_distributivity(backend_name, polys):
+    a, b, c = polys
+    with kernels.use_backend(backend_name):
+        assert_poly_equal(
+            poly_multiply(a, b + c),
+            poly_multiply(a, b) + poly_multiply(a, c),
+        )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(polys=poly_triples(), s=st.integers(0, 2**31 - 1))
+def test_scalar_mul_consistency(backend_name, polys, s):
+    """scalar_mul agrees with repeated addition semantics mod Q."""
+    a, _, _ = polys
+    with kernels.use_backend(backend_name):
+        scaled = a.scalar_mul(s)
+        for i, q in enumerate(a.context.moduli):
+            expected = (a.data[i].astype(object) * s) % q
+            np.testing.assert_array_equal(
+                scaled.data[i], expected.astype(np.uint64)
+            )
+        # Distributes over addition: (a + a) * s == a*s + a*s.
+        assert_poly_equal((a + a).scalar_mul(s), scaled + scaled)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@given(polys=poly_triples())
+def test_hadamard_matches_ntt_domain_product(backend_name, polys):
+    """Coefficient product == INTT(hadamard of NTT images)."""
+    from repro.ntt.negacyclic import intt_negacyclic, ntt_negacyclic
+
+    a, b, _ = polys
+    with kernels.use_backend(backend_name):
+        direct = poly_multiply(a, b)
+        via_hadamard = intt_negacyclic(
+            ntt_negacyclic(a).hadamard(ntt_negacyclic(b))
+        )
+        assert_poly_equal(direct, via_hadamard)
