@@ -101,10 +101,16 @@ def _table4_seconds(op_name: str) -> float:
 def _table6_seconds(bench: str) -> float:
     from repro.compiler.program import compile_trace
     from repro.sim.engine import PoseidonSimulator
+    from repro.sim.validate import validate_schedule
     from repro.workloads import PAPER_BENCHMARKS
 
     program = compile_trace(PAPER_BENCHMARKS[bench]())
-    return PoseidonSimulator().run(program).total_seconds
+    simulator = PoseidonSimulator()
+    result = simulator.run(program)
+    # Every measured schedule self-checks its invariants (no overlap,
+    # HBM budget, dependency order, conservation) before being trusted.
+    validate_schedule(result, program=program, config=simulator.config)
+    return result.total_seconds
 
 
 def _fig10_seconds(k: int) -> float:
@@ -229,7 +235,7 @@ def dump_artifacts(out_dir: Path, benchmark: str = "LR") -> None:
     """Write a trace + metrics pair for CI artifact upload."""
     from repro.compiler.program import compile_trace
     from repro.sim.engine import PoseidonSimulator
-    from repro.sim.timeline import Timeline
+    from repro.sim.validate import validate_schedule
     from repro.workloads import PAPER_BENCHMARKS
 
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -237,7 +243,7 @@ def dump_artifacts(out_dir: Path, benchmark: str = "LR") -> None:
     simulator = PoseidonSimulator()
     with collecting() as registry:
         result = simulator.run(program)
-    Timeline(result).verify_no_overlap()
+    validate_schedule(result, program=program, config=simulator.config)
     write_chrome_trace(result, out_dir / "trace.json", label=benchmark)
     write_metrics_json(
         registry.snapshot(),

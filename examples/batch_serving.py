@@ -50,7 +50,9 @@ def compare(name: str, ops) -> float:
           f"({speedup:.2f}x)")
     print("core occupancy (independent streams):")
     print(Timeline(parallel).render(width=56))
-    assert parallel.total_seconds <= serial.total_seconds
+    # Relative epsilon: both runs accumulate float sums in different
+    # orders, so "no slower" holds only up to rounding noise.
+    assert parallel.total_seconds <= serial.total_seconds * (1 + 1e-9)
     return speedup
 
 

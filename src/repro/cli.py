@@ -214,6 +214,13 @@ def _simulate_benchmark(args):
     simulator = PoseidonSimulator(_config_from_args(args))
     with collecting() as registry:
         result = simulator.run(program)
+    if getattr(args, "validate", False):
+        from repro.sim.validate import validate_schedule
+
+        validate_schedule(
+            result, program=program, config=simulator.config
+        )
+        print(f"schedule invariants OK ({name}, {len(program.tasks)} tasks)")
     return name, result, registry
 
 
@@ -318,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmark", default="resnet20",
         help="benchmark for trace/metrics (accepts aliases: resnet20, "
              "lr, lstm, bootstrapping)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check schedule invariants (no overlap per core instance, "
+             "HBM channel budget, dependency order, time conservation) "
+             "on the simulated run before exporting trace/metrics",
     )
     parser.add_argument(
         "-o", "--output", default=None,

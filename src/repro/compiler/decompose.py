@@ -153,6 +153,13 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
     - two INTT over the extended basis;
     - ModDown both accumulators: RNSconv (MM+MA cascade) from the aux
       basis plus the final subtract/scale, then NTT back.
+
+    Every digit is lifted from the *same* coefficient-domain input, so
+    the digit pipelines are mutually independent: only the running MA
+    accumulation chains digit to digit. Emitting that true DAG (rather
+    than serializing each digit behind the previous one's accumulate)
+    is what lets digit j+1's SBT/NTT overlap digit j's MM/MA across
+    the shared core arrays — the paper's Table I operator reuse.
     """
     base_limbs = op.limbs
     ext = op.extended_limbs
@@ -161,12 +168,13 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
     tasks: list[OperatorTask] = []
     # Input to coefficient domain.
     tasks.append(_task(OperatorKind.INTT, op, polys=1, read_polys=1))
-    prev = (0,)
+    prev_acc: tuple[int, ...] = ()
     for _ in range(digits):
         base = len(tasks)
         # Digit lift: one Barrett reduction per extended-basis element.
+        # Depends only on the shared input INTT — digits are parallel.
         tasks.append(
-            _task(OperatorKind.SBT, op, polys=1, limbs=ext, deps=prev)
+            _task(OperatorKind.SBT, op, polys=1, limbs=ext, deps=(0,))
         )
         tasks.append(
             _task(
@@ -181,14 +189,20 @@ def _lower_keyswitch(op: FheOp) -> list[OperatorTask]:
                 read_polys=2 * ext / max(base_limbs, 1), deps=(base + 1,),
             )
         )
-        # Accumulate into (delta_b, delta_a).
+        # Accumulate into (delta_b, delta_a): the only digit-to-digit
+        # dependency is this running sum.
         tasks.append(
-            _task(OperatorKind.MA, op, polys=2, limbs=ext, deps=(base + 2,))
+            _task(
+                OperatorKind.MA, op, polys=2, limbs=ext,
+                deps=(base + 2,) + prev_acc,
+            )
         )
-        prev = (base + 3,)
+        prev_acc = (base + 3,)
     # Back to coefficient domain for ModDown.
     base = len(tasks)
-    tasks.append(_task(OperatorKind.INTT, op, polys=2, limbs=ext, deps=prev))
+    tasks.append(
+        _task(OperatorKind.INTT, op, polys=2, limbs=ext, deps=prev_acc)
+    )
     # RNSconv aux->base: per aux limb, MM then MA cascade over base limbs.
     tasks.append(
         _task(

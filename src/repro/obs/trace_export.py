@@ -3,11 +3,16 @@
 The Chrome trace format (also read by Perfetto, ``ui.perfetto.dev``) is
 a JSON object with a ``traceEvents`` list. We emit:
 
-- one *thread* per operator core array (MA, MM, NTT, Automorphism) and
-  one for the HBM channel, named via ``M`` metadata events;
+- one *thread* per operator core array *instance* (MA, MM, NTT,
+  Automorphism; replicated instances get their own ``MA#1``-style
+  tracks) and one for the HBM channels, named via ``M`` metadata
+  events;
 - one complete (``ph: "X"``) event per task span — ``ts``/``dur`` in
   microseconds of *simulated* time — carrying the task's compute time,
-  HBM time, bytes moved and queue wait in ``args``;
+  HBM time, bytes moved, waits, stall and instance in ``args``;
+- a nested ``cat: "stall"`` slice over the tail of any span whose core
+  instance sat waiting on the task's residual HBM stream, so stall
+  shows up visually inside the occupancy span;
 - an ``hbm_bytes`` counter (``ph: "C"``) track accumulating off-chip
   traffic over the run.
 
@@ -33,9 +38,15 @@ TRACK_IDS = {"MA": 1, "MM": 2, "NTT": 3, "Automorphism": 4, "HBM": 9}
 _SECONDS_TO_US = 1e6
 
 
-def _track_id(core: str) -> int:
-    # Unknown cores (future core types) get ids past the fixed block.
-    return TRACK_IDS.get(core, 100 + sum(map(ord, core)) % 100)
+def _track_id(core: str, instance: int = 0) -> int:
+    # Unknown cores (future core types) get ids past the fixed block;
+    # replicated instances get their own track past the instance-0 ones.
+    base = TRACK_IDS.get(core, 100 + sum(map(ord, core)) % 100)
+    return base + 16 * instance
+
+
+def _track_name(core: str, instance: int = 0) -> str:
+    return core if instance == 0 else f"{core}#{instance}"
 
 
 def chrome_trace_events(result: "SimulationResult") -> list[dict]:
@@ -48,22 +59,24 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
         }
     ]
     tracks = sorted(
-        {r.core for r in result.task_records} | {"HBM"},
-        key=_track_id,
+        {(r.core, r.instance) for r in result.task_records}
+        | {("HBM", 0)},
+        key=lambda pair: _track_id(*pair),
     )
-    for core in tracks:
+    for core, instance in tracks:
         events.append({
-            "ph": "M", "pid": 0, "tid": _track_id(core),
+            "ph": "M", "pid": 0, "tid": _track_id(core, instance),
             "name": "thread_name",
-            "args": {"name": core},
+            "args": {"name": _track_name(core, instance)},
         })
 
     hbm_cumulative = 0
     for record in result.task_records:
+        tid = _track_id(record.core, record.instance)
         events.append({
             "ph": "X",
             "pid": 0,
-            "tid": _track_id(record.core),
+            "tid": tid,
             "ts": record.start * _SECONDS_TO_US,
             "dur": (record.end - record.start) * _SECONDS_TO_US,
             "name": record.op_label,
@@ -73,8 +86,25 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
                 "hbm_seconds": record.hbm_seconds,
                 "hbm_bytes": record.hbm_bytes,
                 "queue_wait_seconds": record.queue_wait_seconds,
+                "core_wait_seconds": record.core_wait_seconds,
+                "hbm_wait_seconds": record.hbm_wait_seconds,
+                "stall_seconds": record.stall_seconds,
+                "instance": record.instance,
+                "hbm_channels_used": record.hbm_channels_used,
             },
         })
+        if record.stall_seconds > 0:
+            # Nested sub-slice marking the held-but-stalled tail.
+            events.append({
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": (record.end - record.stall_seconds) * _SECONDS_TO_US,
+                "dur": record.stall_seconds * _SECONDS_TO_US,
+                "name": f"{record.op_label} stall",
+                "cat": "stall",
+                "args": {"stall_seconds": record.stall_seconds},
+            })
         if record.hbm_seconds > 0:
             events.append({
                 "ph": "X",
@@ -84,7 +114,10 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
                 "dur": (record.hbm_end - record.hbm_start) * _SECONDS_TO_US,
                 "name": f"{record.op_label} stream",
                 "cat": "HBM",
-                "args": {"bytes": record.hbm_bytes},
+                "args": {
+                    "bytes": record.hbm_bytes,
+                    "channels": record.hbm_channels_used,
+                },
             })
         if record.hbm_bytes:
             hbm_cumulative += record.hbm_bytes

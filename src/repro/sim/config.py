@@ -17,6 +17,11 @@ from repro.utils.bitops import is_power_of_two
 #: Bytes per RNS limb element (the paper's 32-bit datapath).
 LIMB_BYTES = 4
 
+#: The physical operator core arrays the scheduler manages (NTT/INTT
+#: share the NTT array, SBT shares the MM array; see
+#: :class:`repro.sim.tasks.OperatorKind`).
+CORE_ARRAYS = ("MA", "MM", "NTT", "Automorphism")
+
 
 @dataclass(frozen=True)
 class HardwareConfig:
@@ -33,6 +38,10 @@ class HardwareConfig:
         ntt_cores: parallel NTT butterfly cores (64 x 8-input = 512).
         use_hfauto: HFAuto (True) vs naive one-element Auto (False).
         pcie_bandwidth: host link bandwidth (staging only).
+        core_instances: per-core-array instance counts as sorted
+            ``(core, count)`` pairs; arrays not listed have one
+            instance (the paper's prototype). Stored as a tuple so the
+            config stays hashable/frozen.
     """
 
     lanes: int = 512
@@ -45,6 +54,7 @@ class HardwareConfig:
     ntt_cores: int = 64
     use_hfauto: bool = True
     pcie_bandwidth: float = 16e9
+    core_instances: tuple[tuple[str, int], ...] = ()
 
     def __post_init__(self):
         if not is_power_of_two(self.lanes):
@@ -57,6 +67,20 @@ class HardwareConfig:
             )
         if self.hbm_bandwidth <= 0 or self.scratchpad_bandwidth <= 0:
             raise ParameterError("bandwidths must be positive")
+        if self.hbm_channels < 1:
+            raise ParameterError(
+                f"need at least one HBM channel, got {self.hbm_channels}"
+            )
+        for core, count in self.core_instances:
+            if core not in CORE_ARRAYS:
+                raise ParameterError(
+                    f"unknown core array {core!r} in core_instances "
+                    f"(known: {', '.join(CORE_ARRAYS)})"
+                )
+            if not isinstance(count, int) or count < 1:
+                raise ParameterError(
+                    f"core {core} needs a positive instance count, got {count!r}"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +120,26 @@ class HardwareConfig:
     def with_hfauto(self, enabled: bool) -> "HardwareConfig":
         """Copy toggling HFAuto (Table IX ablation)."""
         return replace(self, use_hfauto=enabled)
+
+    # ------------------------------------------------------------------
+    def instances_of(self, core: str) -> int:
+        """Instance count of one core array (1 unless overridden)."""
+        for name, count in self.core_instances:
+            if name == core:
+                return count
+        return 1
+
+    def with_core_instances(self, **counts: int) -> "HardwareConfig":
+        """Copy with per-array instance counts, e.g. ``NTT=2, MA=2``.
+
+        Unnamed arrays keep their current count. Replicating an array
+        lets the scheduler dispatch multiple tasks of that operator
+        concurrently (an area-for-latency trade the paper's single
+        prototype does not take, but the design space supports).
+        """
+        merged = dict(self.core_instances)
+        merged.update(counts)
+        return replace(self, core_instances=tuple(sorted(merged.items())))
 
 
 #: The paper's default Poseidon configuration.

@@ -3,46 +3,78 @@
 Resources:
 
 - one array per operator core type ("MA", "MM", "NTT", "Automorphism"),
-  each processing one task at a time (the arrays are internally
-  SIMD-wide; task-level concurrency across *different* arrays is what
-  the paper's operator reuse exploits);
-- the HBM, a shared bandwidth channel whose occupancy serializes.
+  each with :meth:`HardwareConfig.instances_of` identical instances
+  (the paper's prototype has one of each; the arrays are internally
+  SIMD-wide, so task-level concurrency across *different* arrays is
+  what the paper's operator reuse exploits);
+- the HBM, modelled as ``hbm_channels`` pseudo-channel slots; a
+  transfer occupies :meth:`MemoryModel.channels_for` of them, so small
+  transfers can stream concurrently while full-stripe transfers
+  serialize.
 
-A task starts when its dependencies have finished and its core array is
-free; its HBM traffic is overlapped with compute (double-buffered
-streaming), so the task occupies the core for
-``max(compute, own-hbm-time-after-contention)``. Busy-time statistics
-per core and per FHE basic operation feed Figs. 7/8/9, and HBM
-occupancy feeds the Table VII bandwidth-utilization analysis.
+Scheduling is event-driven and out of order: a task enters the ready
+queue when its dependencies finish, its off-chip transfer is granted
+channel slots as soon as they are free (in ready order, not submission
+order), and the task dispatches onto the first free instance of its
+core array. A ready task is never blocked behind a stalled
+earlier-submitted one — the head-of-line hazard the one-pass in-order
+scheduler (kept as :func:`in_order_makespan` for comparison) suffers.
+
+Busy time and stall time are attributed separately: a task occupies
+its core for ``max(compute, residual stream time)``, but only the
+compute-occupied part counts as busy; the tail spent waiting on the
+HBM stream is recorded as ``stall_seconds``. Busy-time statistics per
+core and per FHE basic operation feed Figs. 7/8/9, and HBM occupancy
+feeds the Table VII bandwidth-utilization analysis.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulingError
 from repro.obs import metrics
-from repro.sim.config import HardwareConfig
+from repro.sim.config import CORE_ARRAYS, HardwareConfig
 from repro.sim.cores import CoreModel
 from repro.sim.memory import MemoryModel
 
 if TYPE_CHECKING:  # avoid a circular import; engine only needs the type
     from repro.compiler.program import OperatorProgram
 
-CORE_NAMES = ("MA", "MM", "NTT", "Automorphism")
+#: Kept as the canonical core list (re-exported for compatibility).
+CORE_NAMES = CORE_ARRAYS
 
 
 @dataclass
 class TaskRecord:
     """Scheduling outcome of one task.
 
-    ``queue_wait_seconds`` is the time the task sat ready (dependencies
-    satisfied) waiting for its core array; ``hbm_start``/``hbm_end``
-    bound its slot on the shared HBM channel (both zero when the task
-    moves no off-chip bytes). These feed the Chrome-trace exporter's
-    per-core and HBM tracks (:mod:`repro.obs.trace_export`).
+    Wait/stall semantics:
+
+    - ``ready_seconds`` — when every dependency had finished.
+    - ``core_wait_seconds`` — ``start - ready``: time spent ready but
+      waiting for a free instance of the core array.
+    - ``hbm_wait_seconds`` — ``hbm_start - ready``: time the task's
+      off-chip transfer sat ready waiting for HBM channel slots (zero
+      when the task moves no off-chip bytes).
+    - ``queue_wait_seconds`` — ``max(core_wait, hbm_wait)``: total
+      time the task sat ready before *both* its core dispatch and its
+      HBM grant were underway. This includes HBM arbitration, not just
+      core contention.
+    - ``stall_seconds`` — ``end - start - max(compute, spad)``: time
+      the core instance was held but idle, waiting for the task's own
+      residual HBM stream. Busy attribution everywhere downstream
+      (``core_busy_seconds``, Figs. 7/8/9) excludes this.
+
+    ``hbm_start``/``hbm_end`` bound the task's slot on the HBM
+    channels and ``hbm_channels_used`` counts the pseudo-channel slots
+    it occupied (all zero when the task moves no off-chip bytes).
+    ``instance`` is which instance of the core array ran the task.
+    These feed the Chrome-trace exporter's per-instance, stall and HBM
+    tracks (:mod:`repro.obs.trace_export`).
     """
 
     start: float
@@ -55,6 +87,12 @@ class TaskRecord:
     queue_wait_seconds: float = 0.0
     hbm_start: float = 0.0
     hbm_end: float = 0.0
+    instance: int = 0
+    ready_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    core_wait_seconds: float = 0.0
+    hbm_wait_seconds: float = 0.0
+    hbm_channels_used: int = 0
 
 
 @dataclass
@@ -63,13 +101,18 @@ class SimulationResult:
 
     Attributes:
         total_seconds: makespan.
-        core_busy_seconds: busy time per core array.
+        core_busy_seconds: compute-occupied time per core array
+            (stall-free: HBM-stall tails are *not* counted as busy).
         op_seconds: attributed busy time per FHE basic operation.
         operator_seconds: attributed busy time per operator core,
             nested by basic operation (Fig. 7 data).
-        hbm_busy_seconds: time the HBM channel was occupied.
+        hbm_busy_seconds: time at least one HBM channel was streaming
+            (union of transfer intervals, so it never exceeds the
+            makespan).
         hbm_bytes: total off-chip traffic.
         task_records: per-task schedule (ordered as submitted).
+        core_stall_seconds: per-core time instances were held but
+            stalled on their task's residual HBM stream.
     """
 
     total_seconds: float
@@ -79,6 +122,7 @@ class SimulationResult:
     hbm_busy_seconds: float
     hbm_bytes: int
     task_records: list[TaskRecord] = field(repr=False, default_factory=list)
+    core_stall_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def bandwidth_utilization(self) -> float:
@@ -87,11 +131,20 @@ class SimulationResult:
             return 0.0
         return min(1.0, self.hbm_busy_seconds / self.total_seconds)
 
-    def achieved_bandwidth(self, config: HardwareConfig) -> float:
+    @property
+    def stall_seconds(self) -> float:
+        """Total core-held-but-stalled time across all arrays."""
+        return sum(self.core_stall_seconds.values())
+
+    def achieved_bandwidth(self) -> float:
         """Average delivered HBM bandwidth in bytes/second."""
         if self.total_seconds <= 0:
             return 0.0
         return self.hbm_bytes / self.total_seconds
+
+    def delivered_bandwidth_fraction(self, config: HardwareConfig) -> float:
+        """Achieved bandwidth as a fraction of the configured peak."""
+        return self.achieved_bandwidth() / config.hbm_bandwidth
 
     def core_share(self) -> dict[str, float]:
         """Normalized busy-time share per core (Fig. 9-style)."""
@@ -111,6 +164,28 @@ class SimulationResult:
         return {name: t / total for name, t in self.op_seconds.items()}
 
 
+def _merged_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    return total + (cur_end - cur_start)
+
+
+#: Event kinds, ordered so arrivals at a time t are visible before the
+#: grant/dispatch passes triggered by releases at the same t.
+_EV_READY = 0
+_EV_RELEASE = 1
+
+
 class PoseidonSimulator:
     """Schedules compiled operator programs on the modelled hardware."""
 
@@ -123,77 +198,205 @@ class PoseidonSimulator:
     def run(self, program: "OperatorProgram") -> SimulationResult:
         """Simulate a compiled program and return aggregate statistics."""
         tasks = program.tasks
-        finish = [0.0] * len(tasks)
-        core_free: dict[str, float] = {name: 0.0 for name in CORE_NAMES}
-        hbm_free = 0.0
-        core_busy: dict[str, float] = defaultdict(float)
-        op_seconds: dict[str, float] = defaultdict(float)
-        operator_seconds: dict[str, dict[str, float]] = defaultdict(
-            lambda: defaultdict(float)
-        )
-        hbm_busy = 0.0
-        hbm_bytes_total = 0
-        records: list[TaskRecord] = []
-        makespan = 0.0
+        n = len(tasks)
+        cfg = self.config
 
+        # Pre-pass: cycle/memory timing and dependency bookkeeping.
+        timings = []
+        mems = []
+        durations = []
+        remaining = [0] * n
+        dependents: list[list[int]] = [[] for _ in range(n)]
         for i, task in enumerate(tasks):
             timing = self.cores.task_cycles(task)
-            if timing.core not in core_free:
+            if timing.core not in CORE_NAMES:
                 raise SchedulingError(
                     f"task {i} targets unknown core {timing.core!r}"
                 )
-            compute = timing.cycles * self.config.cycle_seconds
-            mem = self.memory.task_timing(task)
-
-            deps_done = 0.0
             for dep in task.depends_on:
                 if dep < 0 or dep >= i:
                     raise SchedulingError(
                         f"task {i} has forward/invalid dependency {dep}"
                     )
-                deps_done = max(deps_done, finish[dep])
+            mem = self.memory.task_timing(task)
+            timings.append(timing)
+            mems.append(mem)
+            durations.append(
+                max(timing.cycles * cfg.cycle_seconds, mem.spad_seconds)
+            )
+            uniq = set(task.depends_on)
+            remaining[i] = len(uniq)
+            for dep in uniq:
+                dependents[dep].append(i)
 
-            # HBM occupancy: traffic serializes on the shared channel.
-            hbm_start = max(deps_done, hbm_free)
-            hbm_end = hbm_start + mem.hbm_seconds
-            hbm_free = hbm_end
-            hbm_busy += mem.hbm_seconds
+        # Resource state: per-instance core free times (None = occupied
+        # by a task whose stream has not been granted yet, so its end is
+        # still unknown) and per-pseudo-channel HBM slot free times.
+        inst_free: dict[str, list[float | None]] = {
+            name: [0.0] * cfg.instances_of(name) for name in CORE_NAMES
+        }
+        chan_free = [0.0] * cfg.hbm_channels
+
+        ready = [0.0] * n
+        start: list[float | None] = [None] * n
+        hbm_span: list[tuple[float, float] | None] = [
+            (0.0, 0.0) if mems[i].hbm_bytes == 0 else None for i in range(n)
+        ]
+        end: list[float | None] = [None] * n
+        instance_of = [0] * n
+
+        events: list[tuple[float, int, int]] = []
+        core_queue: dict[str, list[tuple[float, int]]] = {
+            name: [] for name in CORE_NAMES
+        }
+        hbm_queue: list[tuple[float, int]] = []
+        hbm_intervals: list[tuple[float, float]] = []
+        finished = 0
+
+        def finalize(i: int) -> None:
+            """Both dispatch and grant committed: the end is known."""
+            nonlocal finished
+            task_end = max(start[i] + durations[i], hbm_span[i][1])
+            end[i] = task_end
+            inst_free[timings[i].core][instance_of[i]] = task_end
+            heapq.heappush(events, (task_end, _EV_RELEASE, -1))
+            finished += 1
+            for d in dependents[i]:
+                if task_end > ready[d]:
+                    ready[d] = task_end
+                remaining[d] -= 1
+                if remaining[d] == 0:
+                    heapq.heappush(events, (ready[d], _EV_READY, d))
+
+        def grant_pass(t: float) -> None:
+            """Grant channel slots to ready transfers, in ready order.
+
+            A transfer that does not fit is bypassed (no head-of-line
+            blocking) and retried at the next release event.
+            """
+            if not hbm_queue:
+                return
+            deferred = []
+            while hbm_queue:
+                entry = heapq.heappop(hbm_queue)
+                i = entry[1]
+                need = mems[i].channels_used
+                free_slots = [
+                    s for s, free in enumerate(chan_free) if free <= t
+                ]
+                if len(free_slots) < need:
+                    deferred.append(entry)
+                    continue
+                done = t + mems[i].hbm_seconds
+                for s in free_slots[:need]:
+                    chan_free[s] = done
+                hbm_span[i] = (t, done)
+                hbm_intervals.append((t, done))
+                heapq.heappush(events, (done, _EV_RELEASE, -1))
+                if start[i] is not None:
+                    finalize(i)
+            for entry in deferred:
+                heapq.heappush(hbm_queue, entry)
+
+        def dispatch_pass(t: float) -> None:
+            """Dispatch ready tasks onto free core instances."""
+            for core in CORE_NAMES:
+                queue = core_queue[core]
+                frees = inst_free[core]
+                while queue:
+                    k = next(
+                        (j for j, f in enumerate(frees)
+                         if f is not None and f <= t),
+                        None,
+                    )
+                    if k is None:
+                        break
+                    i = heapq.heappop(queue)[1]
+                    start[i] = t
+                    instance_of[i] = k
+                    if hbm_span[i] is not None:
+                        finalize(i)
+                    else:
+                        # Core held; end unknown until the HBM grant.
+                        frees[k] = None
+
+        for i in range(n):
+            if remaining[i] == 0:
+                heapq.heappush(events, (0.0, _EV_READY, i))
+
+        while events:
+            t, kind, payload = heapq.heappop(events)
+            if kind == _EV_READY:
+                i = payload
+                if mems[i].hbm_bytes > 0:
+                    heapq.heappush(hbm_queue, (ready[i], i))
+                heapq.heappush(core_queue[timings[i].core], (ready[i], i))
+            grant_pass(t)
+            dispatch_pass(t)
+
+        if finished != n:  # pragma: no cover - internal invariant
+            raise SchedulingError(
+                f"scheduler finished {finished}/{n} tasks (internal bug)"
+            )
+
+        # Aggregate statistics from the committed schedule.
+        core_busy: dict[str, float] = defaultdict(float)
+        core_stall: dict[str, float] = defaultdict(float)
+        op_seconds: dict[str, float] = defaultdict(float)
+        operator_seconds: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        hbm_bytes_total = 0
+        records: list[TaskRecord] = []
+        makespan = 0.0
+        for i, task in enumerate(tasks):
+            mem = mems[i]
+            core = timings[i].core
+            compute = timings[i].cycles * cfg.cycle_seconds
+            hbm_start, hbm_end = hbm_span[i]
+            busy = durations[i]
+            # Clamp tiny float-negative residues so stall stays a
+            # physical (non-negative) quantity and monotone counters
+            # downstream never see a negative increment.
+            stall = max(0.0, end[i] - start[i] - busy)
+            core_wait = max(0.0, start[i] - ready[i])
+            hbm_wait = max(0.0, hbm_start - ready[i]) if mem.hbm_bytes else 0.0
+            makespan = max(makespan, end[i])
             hbm_bytes_total += mem.hbm_bytes
-
-            # Core occupancy: starts once deps + input stream allow;
-            # double-buffering overlaps the stream with compute, so the
-            # core holds for max(compute, residual stream time).
-            start = max(deps_done, core_free[timing.core])
-            stream_bound = hbm_end
-            duration = max(compute, mem.spad_seconds)
-            end = max(start + duration, stream_bound)
-            core_free[timing.core] = end
-            finish[i] = end
-            makespan = max(makespan, end)
-
-            busy = end - start
-            core_busy[timing.core] += busy
+            core_busy[core] += busy
+            core_stall[core] += stall
             label = task.op_label or "unlabelled"
             op_seconds[label] += busy
-            operator_seconds[label][timing.core] += busy
+            operator_seconds[label][core] += busy
             records.append(
                 TaskRecord(
-                    start=start,
-                    end=end,
-                    core=timing.core,
+                    start=start[i],
+                    end=end[i],
+                    core=core,
                     compute_seconds=compute,
                     hbm_seconds=mem.hbm_seconds,
                     hbm_bytes=mem.hbm_bytes,
                     op_label=label,
-                    queue_wait_seconds=start - deps_done,
-                    hbm_start=hbm_start if mem.hbm_seconds > 0 else 0.0,
-                    hbm_end=hbm_end if mem.hbm_seconds > 0 else 0.0,
+                    queue_wait_seconds=max(core_wait, hbm_wait),
+                    hbm_start=hbm_start,
+                    hbm_end=hbm_end,
+                    instance=instance_of[i],
+                    ready_seconds=ready[i],
+                    stall_seconds=stall,
+                    core_wait_seconds=core_wait,
+                    hbm_wait_seconds=hbm_wait,
+                    hbm_channels_used=(
+                        mem.channels_used if mem.hbm_bytes else 0
+                    ),
                 )
             )
 
         reg = metrics.active()
         if reg is not None:
-            self._record_metrics(reg, records, makespan, hbm_busy, core_busy)
+            self._record_metrics(
+                reg, records, makespan,
+                _merged_length(hbm_intervals), core_busy, core_stall,
+            )
 
         return SimulationResult(
             total_seconds=makespan,
@@ -202,13 +405,16 @@ class PoseidonSimulator:
             operator_seconds={
                 k: dict(v) for k, v in operator_seconds.items()
             },
-            hbm_busy_seconds=hbm_busy,
+            hbm_busy_seconds=_merged_length(hbm_intervals),
             hbm_bytes=hbm_bytes_total,
             task_records=records,
+            core_stall_seconds=dict(core_stall),
         )
 
     @staticmethod
-    def _record_metrics(reg, records, makespan, hbm_busy, core_busy) -> None:
+    def _record_metrics(
+        reg, records, makespan, hbm_busy, core_busy, core_stall
+    ) -> None:
         """Publish one run's spans into the active metrics registry.
 
         Kept out of the scheduling loop so the disabled path costs a
@@ -219,12 +425,16 @@ class PoseidonSimulator:
         reg.gauge("sim.hbm.busy_seconds").set(hbm_busy)
         for core, busy in core_busy.items():
             reg.counter(f"sim.core.{core}.busy_seconds").inc(busy)
+        for core, stall in core_stall.items():
+            reg.counter(f"sim.core.{core}.stall_seconds").inc(stall)
         wait = reg.histogram("sim.task.queue_wait_seconds")
         busy_h = reg.histogram("sim.task.busy_seconds")
+        stall_h = reg.histogram("sim.task.stall_seconds")
         hbm_bytes = reg.counter("sim.hbm.bytes")
         for record in records:
             wait.observe(record.queue_wait_seconds)
             busy_h.observe(record.end - record.start)
+            stall_h.observe(record.stall_seconds)
             hbm_bytes.inc(record.hbm_bytes)
             reg.counter(f"sim.op.{record.op_label}.tasks").inc()
 
@@ -263,3 +473,51 @@ class PoseidonSimulator:
         if result.total_seconds <= 0:
             raise SchedulingError("batch simulated to zero time")
         return batch / result.total_seconds
+
+
+# ----------------------------------------------------------------------
+def in_order_makespan(
+    program: "OperatorProgram", config: HardwareConfig | None = None
+) -> float:
+    """Makespan under the legacy one-pass in-order scheduler.
+
+    This is the pre-event-driven engine, kept verbatim as a comparison
+    oracle: it reserves the (single, fully serialized) HBM channel and
+    each core array in *submission* order, so a ready later task can
+    sit blocked behind a stalled earlier one. Tests and benchmarks use
+    it to demonstrate that the out-of-order scheduler removes that
+    head-of-line blocking (its makespan should not exceed this one on
+    the paper workloads).
+    """
+    config = config or HardwareConfig()
+    cores = CoreModel(config)
+    memory = MemoryModel(config)
+    tasks = program.tasks
+    finish = [0.0] * len(tasks)
+    core_free: dict[str, float] = {name: 0.0 for name in CORE_NAMES}
+    hbm_free = 0.0
+    makespan = 0.0
+    for i, task in enumerate(tasks):
+        timing = cores.task_cycles(task)
+        if timing.core not in core_free:
+            raise SchedulingError(
+                f"task {i} targets unknown core {timing.core!r}"
+            )
+        compute = timing.cycles * config.cycle_seconds
+        mem = memory.task_timing(task)
+        deps_done = 0.0
+        for dep in task.depends_on:
+            if dep < 0 or dep >= i:
+                raise SchedulingError(
+                    f"task {i} has forward/invalid dependency {dep}"
+                )
+            deps_done = max(deps_done, finish[dep])
+        hbm_start = max(deps_done, hbm_free)
+        hbm_free = hbm_start + mem.hbm_seconds
+        start = max(deps_done, core_free[timing.core])
+        duration = max(compute, mem.spad_seconds)
+        task_end = max(start + duration, hbm_free)
+        core_free[timing.core] = task_end
+        finish[i] = task_end
+        makespan = max(makespan, task_end)
+    return makespan

@@ -20,11 +20,18 @@ from repro.sim.engine import PoseidonSimulator, SimulationResult
 
 @dataclass(frozen=True)
 class BandwidthReport:
-    """Bandwidth utilization of one operation or benchmark."""
+    """Bandwidth utilization of one operation or benchmark.
+
+    ``utilization`` is occupancy (fraction of the run during which the
+    HBM streamed); ``delivered_fraction`` is achieved average bytes/s
+    over the configured peak — the two differ when transfers engage
+    only a subset of the pseudo-channels.
+    """
 
     name: str
     utilization: float          # fraction of runtime the HBM streamed
     achieved_bytes_per_s: float
+    delivered_fraction: float   # achieved / configured peak bandwidth
     total_bytes: int
     seconds: float
 
@@ -40,7 +47,8 @@ def bandwidth_report(
     return BandwidthReport(
         name=name,
         utilization=result.bandwidth_utilization,
-        achieved_bytes_per_s=result.achieved_bandwidth(config),
+        achieved_bytes_per_s=result.achieved_bandwidth(),
+        delivered_fraction=result.delivered_bandwidth_fraction(config),
         total_bytes=result.hbm_bytes,
         seconds=result.total_seconds,
     )

@@ -4,7 +4,14 @@ Turns the per-task records of a :class:`~repro.sim.engine.
 SimulationResult` into per-core occupancy intervals, idle-gap
 statistics and a coarse text rendering. Used to debug operator-reuse
 behaviour (is the NTT array actually saturated during keyswitch?) and
-by tests asserting the scheduler's invariants (no core overlaps).
+by tests asserting the scheduler's invariants (no overlap on any core
+instance).
+
+Occupancy vs. compute: an interval spans the whole time the core
+instance was *held* (including the stall tail waiting on the task's
+residual HBM stream); :meth:`Timeline.utilization` reports that
+occupancy while :meth:`Timeline.compute_utilization` excludes the
+stall, matching the stall-free busy attribution of Figs. 7/8/9.
 """
 
 from __future__ import annotations
@@ -17,16 +24,38 @@ from repro.sim.engine import SimulationResult
 
 @dataclass(frozen=True)
 class CoreInterval:
-    """One busy interval on a core array."""
+    """One occupancy interval on a core array instance.
+
+    ``stall`` is the tail of the interval during which the instance was
+    held but idle (waiting on the task's own HBM stream); the
+    compute-busy part is ``duration - stall``.
+    """
 
     core: str
     start: float
     end: float
     op_label: str
+    instance: int = 0
+    stall: float = 0.0
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+def _merge(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of (start, end) intervals, sorted and coalesced."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start > last_end:
+            merged.append((start, end))
+        else:
+            merged[-1] = (last_start, max(last_end, end))
+    return merged
 
 
 class Timeline:
@@ -35,6 +64,7 @@ class Timeline:
     def __init__(self, result: SimulationResult):
         self.result = result
         self.intervals: dict[str, list[CoreInterval]] = {}
+        self.instance_counts: dict[str, int] = {}
         for record in result.task_records:
             self.intervals.setdefault(record.core, []).append(
                 CoreInterval(
@@ -42,46 +72,84 @@ class Timeline:
                     start=record.start,
                     end=record.end,
                     op_label=record.op_label,
+                    instance=record.instance,
+                    stall=record.stall_seconds,
                 )
             )
+            prev = self.instance_counts.get(record.core, 1)
+            self.instance_counts[record.core] = max(prev, record.instance + 1)
         for intervals in self.intervals.values():
-            intervals.sort(key=lambda iv: iv.start)
+            intervals.sort(key=lambda iv: (iv.start, iv.instance))
 
     # ------------------------------------------------------------------
     def verify_no_overlap(self) -> None:
-        """Assert the scheduler never double-booked a core array.
+        """Assert the scheduler never double-booked a core instance.
+
+        Intervals are grouped per ``(core, instance)`` — replicated
+        arrays legitimately run concurrent tasks on different
+        instances. The overlap tolerance is relative to the makespan
+        (spans are ~1e-3 s, so a fixed 1e-15 would be far below the
+        float resolution of the arithmetic that produced them).
 
         Raises:
             SimulationError: on any overlapping pair.
         """
+        eps = max(1e-15, 1e-9 * self.result.total_seconds)
         for core, intervals in self.intervals.items():
-            for prev, cur in zip(intervals, intervals[1:]):
-                if cur.start < prev.end - 1e-15:
-                    raise SimulationError(
-                        f"core {core} double-booked: "
-                        f"[{prev.start:.3e}, {prev.end:.3e}] overlaps "
-                        f"[{cur.start:.3e}, {cur.end:.3e}]"
-                    )
+            by_instance: dict[int, list[CoreInterval]] = {}
+            for iv in intervals:
+                by_instance.setdefault(iv.instance, []).append(iv)
+            for instance, ivs in by_instance.items():
+                ivs.sort(key=lambda iv: iv.start)
+                for prev, cur in zip(ivs, ivs[1:]):
+                    if cur.start < prev.end - eps:
+                        raise SimulationError(
+                            f"core {core}#{instance} double-booked: "
+                            f"[{prev.start:.3e}, {prev.end:.3e}] overlaps "
+                            f"[{cur.start:.3e}, {cur.end:.3e}]"
+                        )
 
     def utilization(self, core: str) -> float:
-        """Busy fraction of one core over the makespan."""
-        total = self.result.total_seconds
+        """Occupancy fraction of one core array over the makespan.
+
+        Normalized by the array's instance count, so a two-instance
+        array running one task half the time reports 0.25. Includes
+        stall tails; see :meth:`compute_utilization` for the stall-free
+        figure.
+        """
+        total = self.result.total_seconds * self.instance_counts.get(core, 1)
         if total <= 0:
             return 0.0
-        busy = sum(iv.duration for iv in self.intervals.get(core, []))
+        held = sum(iv.duration for iv in self.intervals.get(core, []))
+        return min(1.0, held / total)
+
+    def compute_utilization(self, core: str) -> float:
+        """Stall-free busy fraction of one core array (Fig. 7/8/9 basis)."""
+        total = self.result.total_seconds * self.instance_counts.get(core, 1)
+        if total <= 0:
+            return 0.0
+        busy = sum(
+            iv.duration - iv.stall for iv in self.intervals.get(core, [])
+        )
         return min(1.0, busy / total)
 
     def idle_gaps(self, core: str) -> list[tuple[float, float]]:
-        """Idle intervals of one core between its first and last task."""
-        intervals = self.intervals.get(core, [])
-        gaps = []
-        for prev, cur in zip(intervals, intervals[1:]):
-            if cur.start > prev.end:
-                gaps.append((prev.end, cur.start))
-        return gaps
+        """Idle intervals of one core between its first and last task.
+
+        Computed over the union across instances: a gap is a span when
+        *no* instance of the array held a task.
+        """
+        merged = _merge(
+            [(iv.start, iv.end) for iv in self.intervals.get(core, [])]
+        )
+        return [
+            (prev_end, cur_start)
+            for (_, prev_end), (cur_start, _) in zip(merged, merged[1:])
+            if cur_start > prev_end
+        ]
 
     def busiest_core(self) -> str:
-        """The core with the highest busy time."""
+        """The core with the highest occupancy time."""
         if not self.intervals:
             raise SimulationError("empty timeline")
         return max(

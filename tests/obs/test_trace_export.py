@@ -24,7 +24,12 @@ def result():
 
 
 def _span_events(events):
-    return [e for e in events if e["ph"] == "X" and e["cat"] != "HBM"]
+    # Task occupancy spans only: HBM stream spans live on their own
+    # track and stall slices nest inside the task spans.
+    return [
+        e for e in events
+        if e["ph"] == "X" and e["cat"] not in ("HBM", "stall")
+    ]
 
 
 class TestChromeTraceEvents:
@@ -70,6 +75,37 @@ class TestChromeTraceEvents:
             spans.sort(key=lambda e: e["ts"])
             for prev, cur in zip(spans, spans[1:]):
                 assert cur["ts"] >= prev["ts"] + prev["dur"] - 1e-6
+
+    def test_queue_wait_includes_hbm_arbitration(self, result):
+        """queue_wait = max(core wait, HBM wait): the exported wait
+        covers HBM-stream arbitration, not just core contention."""
+        spans = _span_events(chrome_trace_events(result))
+        assert spans, "expected task spans"
+        for span in spans:
+            args = span["args"]
+            assert args["queue_wait_seconds"] == pytest.approx(
+                max(args["core_wait_seconds"], args["hbm_wait_seconds"])
+            )
+            assert args["queue_wait_seconds"] >= args["hbm_wait_seconds"]
+
+    def test_stall_slices_nest_inside_their_span(self, result):
+        events = chrome_trace_events(result)
+        stalls = [e for e in events if e["ph"] == "X" and e["cat"] == "stall"]
+        spans = {
+            (e["tid"], e["name"], e["ts"]): e for e in _span_events(events)
+        }
+        expected = sum(
+            1 for r in result.task_records if r.stall_seconds > 0
+        )
+        assert len(stalls) == expected
+        for stall in stalls:
+            parents = [
+                s for s in spans.values()
+                if s["tid"] == stall["tid"]
+                and s["ts"] <= stall["ts"] + 1e-9
+                and stall["ts"] + stall["dur"] <= s["ts"] + s["dur"] + 1e-9
+            ]
+            assert parents, f"stall slice {stall['name']} has no parent span"
 
     def test_hbm_counter_monotonic_and_totals(self, result):
         events = chrome_trace_events(result)

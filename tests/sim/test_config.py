@@ -48,6 +48,44 @@ class TestValidation:
             HardwareConfig(hbm_bandwidth=-1)
 
 
+class TestCoreInstances:
+    def test_default_is_one_per_array(self):
+        cfg = HardwareConfig()
+        for core in ("MA", "MM", "NTT", "Automorphism"):
+            assert cfg.instances_of(core) == 1
+
+    def test_with_core_instances_overrides_named_arrays(self):
+        cfg = HardwareConfig().with_core_instances(NTT=2, MA=3)
+        assert cfg.instances_of("NTT") == 2
+        assert cfg.instances_of("MA") == 3
+        assert cfg.instances_of("MM") == 1
+
+    def test_with_core_instances_merges(self):
+        cfg = (
+            HardwareConfig()
+            .with_core_instances(NTT=2)
+            .with_core_instances(MA=2)
+        )
+        assert cfg.instances_of("NTT") == 2
+        assert cfg.instances_of("MA") == 2
+
+    def test_config_stays_hashable(self):
+        cfg = HardwareConfig().with_core_instances(NTT=2)
+        assert hash(cfg) == hash(HardwareConfig().with_core_instances(NTT=2))
+
+    def test_rejects_unknown_array(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(core_instances=(("GPU", 2),))
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(core_instances=(("NTT", 0),))
+
+    def test_rejects_bad_channel_count(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(hbm_channels=0)
+
+
 class TestSweepHelpers:
     def test_with_lanes_scales_cores_and_spad(self):
         cfg = HardwareConfig().with_lanes(128)

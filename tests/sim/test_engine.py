@@ -6,7 +6,7 @@ from repro.compiler.ops import FheOp, FheOpName
 from repro.compiler.program import OperatorProgram, compile_trace
 from repro.errors import SchedulingError
 from repro.sim.config import HardwareConfig
-from repro.sim.engine import PoseidonSimulator
+from repro.sim.engine import PoseidonSimulator, in_order_makespan
 from repro.sim.tasks import OperatorKind, OperatorTask
 
 N = 1 << 14
@@ -82,6 +82,107 @@ class TestScheduling:
         sim = PoseidonSimulator()
         result = sim.run(program_of([]))
         assert result.total_seconds == 0
+
+
+class TestOutOfOrder:
+    def test_ready_transfer_not_blocked_by_earlier_submission(self):
+        """Head-of-line removal: a ready transfer streams immediately
+        even when an earlier-submitted task's transfer is not ready."""
+        blocker = simple_task(OperatorKind.NTT, elements=64 * N)
+        late_stream = OperatorTask(
+            kind=OperatorKind.MA, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, depends_on=(0,), op_label="late",
+        )
+        early_stream = OperatorTask(
+            kind=OperatorKind.MM, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, op_label="early",
+        )
+        program = program_of([blocker, late_stream, early_stream])
+        result = PoseidonSimulator().run(program)
+        early = result.task_records[2]
+        # The in-order engine reserved the HBM in submission order, so
+        # task 2's stream sat behind task 1's not-yet-ready one.
+        assert early.hbm_start == 0.0
+        assert result.total_seconds <= in_order_makespan(program)
+
+    def test_ooo_not_slower_on_keyswitch_chain(self):
+        ops = [
+            FheOp.make(FheOpName.CMULT, N, 10, aux_limbs=3),
+            FheOp.make(FheOpName.ROTATION, N, 10, aux_limbs=3),
+        ]
+        program = compile_trace(ops)
+        ooo = PoseidonSimulator().run(program).total_seconds
+        assert ooo <= in_order_makespan(program) * (1 + 1e-9)
+
+    def test_replicated_core_runs_tasks_concurrently(self):
+        config = HardwareConfig().with_core_instances(MA=2)
+        result = PoseidonSimulator(config).run(program_of([
+            simple_task(OperatorKind.MA),
+            simple_task(OperatorKind.MA),
+        ]))
+        first, second = result.task_records
+        assert first.start == second.start == 0.0
+        assert {first.instance, second.instance} == {0, 1}
+
+    def test_single_instance_still_serializes(self):
+        result = PoseidonSimulator().run(program_of([
+            simple_task(OperatorKind.MA),
+            simple_task(OperatorKind.MA),
+        ]))
+        first, second = result.task_records
+        assert first.instance == second.instance == 0
+        assert second.start >= first.end
+
+
+class TestStallAttribution:
+    def test_hbm_bound_task_splits_busy_and_stall(self):
+        task = OperatorTask(
+            kind=OperatorKind.MA, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=460_000_000, op_label="stream-bound",
+        )
+        result = PoseidonSimulator().run(program_of([task]))
+        record = result.task_records[0]
+        held = record.end - record.start
+        # A 1 ms stream against microseconds of compute: the core is
+        # held for the whole stream but mostly stalled.
+        assert record.stall_seconds > 0
+        assert record.stall_seconds < held
+        assert result.core_busy_seconds["MA"] + result.core_stall_seconds[
+            "MA"
+        ] == pytest.approx(held)
+        # Busy attribution (Figs. 7-9 basis) excludes the stall tail.
+        assert result.core_busy_seconds["MA"] == pytest.approx(
+            held - record.stall_seconds
+        )
+        assert result.op_seconds["stream-bound"] == pytest.approx(
+            result.core_busy_seconds["MA"]
+        )
+
+    def test_compute_bound_task_has_no_stall(self):
+        result = PoseidonSimulator().run(
+            program_of([simple_task(OperatorKind.NTT, elements=64 * N)])
+        )
+        assert result.task_records[0].stall_seconds == 0.0
+        assert result.stall_seconds == 0.0
+
+    def test_queue_wait_includes_hbm_arbitration(self):
+        """Two full-stripe transfers on different cores: the second
+        waits on channel slots, not on its (free) core array."""
+        a = OperatorTask(
+            kind=OperatorKind.MA, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, op_label="a",
+        )
+        b = OperatorTask(
+            kind=OperatorKind.MM, elements=N, degree=N, limbs=1,
+            hbm_read_bytes=46_000_000, op_label="b",
+        )
+        result = PoseidonSimulator().run(program_of([a, b]))
+        second = result.task_records[1]
+        assert second.hbm_wait_seconds > 0
+        assert second.core_wait_seconds == 0.0
+        assert second.queue_wait_seconds == pytest.approx(
+            max(second.core_wait_seconds, second.hbm_wait_seconds)
+        )
 
 
 class TestStatistics:

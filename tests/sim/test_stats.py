@@ -53,6 +53,22 @@ class TestBandwidthReports:
         assert report.total_bytes == mixed_result.hbm_bytes
         assert 0 <= report.utilization <= 1
 
+    def test_delivered_fraction_uses_configured_peak(self, sim, mixed_result):
+        """The config argument must actually matter: the delivered
+        fraction is achieved bytes/s over *that config's* peak."""
+        report = bandwidth_report("mix", mixed_result, sim.config)
+        assert report.achieved_bytes_per_s == pytest.approx(
+            mixed_result.hbm_bytes / mixed_result.total_seconds
+        )
+        assert report.delivered_fraction == pytest.approx(
+            report.achieved_bytes_per_s / sim.config.hbm_bandwidth
+        )
+        fat_pipe = sim.config.__class__(hbm_bandwidth=2 * 460e9)
+        halved = bandwidth_report("mix", mixed_result, fat_pipe)
+        assert halved.delivered_fraction == pytest.approx(
+            report.delivered_fraction / 2
+        )
+
 
 class TestShares:
     def test_operator_core_shares_normalized(self, mixed_result):

@@ -52,11 +52,75 @@ class TestInvariants:
             Timeline(result).verify_no_overlap()
 
 
+class TestOverlapTolerance:
+    def _result_with(self, records, total):
+        return SimulationResult(
+            total_seconds=total,
+            core_busy_seconds={},
+            op_seconds={},
+            operator_seconds={},
+            hbm_busy_seconds=0,
+            hbm_bytes=0,
+            task_records=records,
+        )
+
+    def test_relative_epsilon_tolerates_float_noise(self):
+        """Spans are ~1e-3 s: sub-ulp-scale overlap is rounding noise,
+        not a double-booking (the old absolute 1e-15 rejected it)."""
+        from repro.sim.engine import TaskRecord
+
+        total = 2e-3
+        noise = 1e-12 * total  # far below 1e-9 * makespan
+        result = self._result_with([
+            TaskRecord(start=0.0, end=1e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="a"),
+            TaskRecord(start=1e-3 - noise, end=2e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="b"),
+        ], total)
+        Timeline(result).verify_no_overlap()
+
+    def test_real_overlap_still_rejected(self):
+        from repro.sim.engine import TaskRecord
+
+        total = 2e-3
+        result = self._result_with([
+            TaskRecord(start=0.0, end=1e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="a"),
+            TaskRecord(start=0.5e-3, end=2e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="b"),
+        ], total)
+        with pytest.raises(SimulationError):
+            Timeline(result).verify_no_overlap()
+
+    def test_distinct_instances_may_overlap(self):
+        from repro.sim.engine import TaskRecord
+
+        result = self._result_with([
+            TaskRecord(start=0.0, end=1e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="a", instance=0),
+            TaskRecord(start=0.0, end=1e-3, core="MM",
+                       compute_seconds=1e-3, hbm_seconds=0,
+                       hbm_bytes=0, op_label="b", instance=1),
+        ], 1e-3)
+        Timeline(result).verify_no_overlap()
+
+
 class TestStatistics:
     def test_utilization_bounded(self, mixed_timeline):
         for core in ("MA", "MM", "NTT", "Automorphism"):
             u = mixed_timeline.utilization(core)
             assert 0 <= u <= 1
+
+    def test_compute_utilization_excludes_stall(self, mixed_timeline):
+        for core in mixed_timeline.intervals:
+            occupancy = mixed_timeline.utilization(core)
+            compute = mixed_timeline.compute_utilization(core)
+            assert 0 <= compute <= occupancy
 
     def test_ntt_is_busiest_in_keyswitch_mix(self, mixed_timeline):
         """CMult+Rotation traces keep the NTT array hottest (Fig. 9)."""
