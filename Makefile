@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: test test-batched properties golden coverage bench bench-smoke \
-	regress lint examples tables quicktest all
+	regress serve-sweep lint examples tables quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -45,12 +45,17 @@ bench-smoke:
 regress:
 	$(PYTHON) benchmarks/regress.py
 
+# Open-system load sweep: throughput-vs-p99 knee curve + shape checks.
+serve-sweep:
+	$(PYTHON) benchmarks/bench_serving_sweep.py
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/private_statistics.py
 	$(PYTHON) examples/encrypted_convolution.py
 	$(PYTHON) examples/hfauto_walkthrough.py
 	$(PYTHON) examples/batch_serving.py
+	$(PYTHON) examples/open_system_serving.py
 	$(PYTHON) examples/accelerator_simulation.py
 
 tables:

@@ -63,6 +63,17 @@ MICRONTT_DEGREE = 4096
 MICRONTT_LIMBS = 8
 MICRONTT_BACKENDS = ("reference", "batched")
 
+#: Open-system serving workloads. The saturation entries gate the knee
+#: of the load sweep (see bench_serving_sweep.py) as *seconds per
+#: request* at overload, so the standard simulated-time threshold
+#: applies: saturation throughput dropping >10% fails the run.
+SERVE_SEED = 0
+SERVE_MAKESPAN = ("keyswitch-r300-b8",)
+SERVE_SATURATION_FULL = ("b1", "b8")
+SERVE_SATURATION_SMOKE = ("b8",)
+SERVE_OVERLOAD_RATE = 1200.0
+SERVE_COUNT = 64
+
 
 def _table4_seconds(op_name: str) -> float:
     from repro.analysis.tables import (
@@ -172,6 +183,40 @@ def _microntt_seconds(backend_name: str) -> float:
     return 0.0
 
 
+def _serve_run(rate: float, max_batch: int):
+    from repro.serve import (
+        BatchPolicy,
+        PoissonArrivals,
+        ServingSimulator,
+    )
+
+    sim = ServingSimulator(
+        policy=BatchPolicy(max_batch_size=max_batch)
+    )
+    result = sim.run(
+        "keyswitch",
+        PoissonArrivals(
+            rate=rate, count=SERVE_COUNT, seed=SERVE_SEED
+        ),
+        seed=SERVE_SEED,
+    )
+    # Served schedules self-check the same invariants as table6 runs.
+    result.validate()
+    return result
+
+
+def _serve_makespan_seconds(spec: str) -> float:
+    assert spec == "keyswitch-r300-b8"
+    return _serve_run(rate=300.0, max_batch=8).makespan_seconds
+
+
+def _serve_saturation_spr(spec: str) -> float:
+    """Seconds per request at overload (the inverse knee height)."""
+    max_batch = {"b1": 1, "b8": 8}[spec]
+    result = _serve_run(rate=SERVE_OVERLOAD_RATE, max_batch=max_batch)
+    return 1.0 / result.throughput_rps
+
+
 def report_microntt_speedup(workloads: dict[str, dict]) -> None:
     """Print batched-vs-reference wall-clock speedup for the micro NTT."""
     names = {
@@ -207,6 +252,17 @@ def build_suite(smoke: bool) -> list[tuple[str, object]]:
         )
     for k in radices:
         suite.append((f"fig10/k={k}", lambda k=k: _fig10_seconds(k)))
+    for spec in SERVE_MAKESPAN:
+        suite.append(
+            (f"serve/{spec}",
+             lambda spec=spec: _serve_makespan_seconds(spec))
+        )
+    sat = SERVE_SATURATION_SMOKE if smoke else SERVE_SATURATION_FULL
+    for spec in sat:
+        suite.append(
+            (f"serve/saturation-{spec}",
+             lambda spec=spec: _serve_saturation_spr(spec))
+        )
     for b in MICRONTT_BACKENDS:
         suite.append(
             (f"microntt/N{MICRONTT_DEGREE}-L{MICRONTT_LIMBS}/{b}",

@@ -74,7 +74,3 @@ def main() -> None:
 
 if __name__ == "__main__":
     main()
-
-
-if __name__ == "__main__":
-    main()

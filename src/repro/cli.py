@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: regenerate any paper table or figure, and
+drive the open-system serving simulator.
 
 Usage::
 
@@ -9,9 +10,18 @@ Usage::
     python -m repro.cli fig11 --workload LR
     python -m repro.cli trace --benchmark resnet20 -o trace.json
     python -m repro.cli metrics --benchmark lr -o metrics.json
+    python -m repro.cli serve --workload keyswitch --arrival-rate 300 \
+        --requests 64 --seed 0 --validate
 
-Each command prints the same rows the corresponding bench target
-asserts on, so results can be inspected without running pytest.
+Each command is an argparse *subparser* carrying only the flags it
+understands, so out-of-scope flags (``table9 --validate``,
+``trace --radix 4``) error out instead of being silently ignored.
+``--kernel-backend`` is accepted by every command and is applied as a
+scoped override around dispatch — it never leaks into the process
+after :func:`main` returns.
+
+Each table/figure command prints the same rows the corresponding bench
+target asserts on, so results can be inspected without running pytest.
 """
 
 from __future__ import annotations
@@ -40,6 +50,9 @@ from repro.analysis import (
 )
 from repro.analysis.report import render_shares, render_table
 from repro.sim.config import HardwareConfig
+
+#: Canonical workload spellings for fig11/design.
+PAPER_WORKLOADS = ("LR", "LSTM", "ResNet-20", "Packed Bootstrapping")
 
 
 def _config_from_args(args) -> HardwareConfig:
@@ -259,6 +272,119 @@ def cmd_metrics(args) -> None:
     print(f"wrote {out}: {len(doc['metrics'])} metrics ({name})")
 
 
+def cmd_serve(args) -> None:
+    """Run the open-system serving simulator and report load metrics."""
+    import json
+
+    from repro.errors import ParameterError
+    from repro.obs import (
+        collecting,
+        write_metrics_json,
+        write_serving_trace,
+    )
+    from repro.serve import (
+        BatchPolicy,
+        PoissonArrivals,
+        ServingSimulator,
+        TraceArrivals,
+    )
+
+    try:
+        policy = BatchPolicy(
+            max_batch_size=args.max_batch,
+            max_queue_delay=args.max_queue_delay,
+            order=args.policy,
+            max_queue_depth=args.max_queue_depth,
+            max_inflight_batches=args.max_inflight,
+        )
+    except ParameterError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    if args.arrival_trace is not None:
+        with open(args.arrival_trace, encoding="utf-8") as fh:
+            stamps = json.load(fh)
+        arrivals = TraceArrivals(stamps)
+        arrival_desc = f"trace({len(stamps)} arrivals)"
+    else:
+        arrivals = PoissonArrivals(
+            rate=args.arrival_rate, count=args.requests, seed=args.seed
+        )
+        arrival_desc = (
+            f"Poisson rate={args.arrival_rate}/s n={args.requests} "
+            f"seed={args.seed}"
+        )
+    simulator = ServingSimulator(_config_from_args(args), policy)
+    with collecting() as registry:
+        try:
+            result = simulator.run(
+                args.workload, arrivals, seed=args.seed
+            )
+        except KeyError as exc:
+            raise SystemExit(f"error: {exc.args[0]}") from None
+    if args.validate:
+        result.validate()
+        print(
+            f"schedule invariants OK ({result.admitted} requests, "
+            f"{len(result.program.tasks)} tasks)"
+        )
+
+    s = result.summary()
+    print(f"--- serving: {args.workload} | {arrival_desc} ---")
+    print(
+        f"policy: batch<={policy.max_batch_size} "
+        f"delay={policy.max_queue_delay} order={policy.order} "
+        f"depth_bound={policy.max_queue_depth} "
+        f"inflight<={policy.max_inflight_batches}"
+    )
+    print(
+        f"requests: {s['requests_arrived']} arrived, "
+        f"{s['requests_admitted']} admitted, "
+        f"{s['requests_rejected']} rejected, "
+        f"{s['requests_completed']} completed "
+        f"in {s['batches']} batches"
+    )
+    print(
+        f"throughput: {s['throughput_rps']:.2f} req/s over "
+        f"{s['makespan_seconds'] * 1e3:.2f} ms simulated"
+    )
+    print(
+        "latency: "
+        f"p50 {s['latency_p50_seconds'] * 1e3:.3f} ms, "
+        f"p95 {s['latency_p95_seconds'] * 1e3:.3f} ms, "
+        f"p99 {s['latency_p99_seconds'] * 1e3:.3f} ms "
+        f"(mean {s['latency_mean_seconds'] * 1e3:.3f} ms)"
+    )
+    print(f"max queue depth: {s['max_queue_depth']}")
+
+    if args.output is not None:
+        doc = write_metrics_json(
+            registry.snapshot(),
+            args.output,
+            meta={
+                "workload": args.workload,
+                "arrivals": arrival_desc,
+                "seed": args.seed,
+                "lanes": args.lanes,
+                "policy": {
+                    "max_batch_size": policy.max_batch_size,
+                    "max_queue_delay": policy.max_queue_delay,
+                    "order": policy.order,
+                    "max_queue_depth": policy.max_queue_depth,
+                    "max_inflight_batches": policy.max_inflight_batches,
+                },
+                **s,
+            },
+        )
+        print(f"wrote {args.output}: {len(doc['metrics'])} metrics")
+    if args.trace_output is not None:
+        doc = write_serving_trace(
+            result, args.trace_output, label=args.workload
+        )
+        print(
+            f"wrote {args.trace_output}: {len(doc['traceEvents'])} "
+            "events; open at https://ui.perfetto.dev"
+        )
+
+
 def cmd_fig12(args) -> None:
     fig = fig12_energy_breakdown(_config_from_args(args))
     print("Fig. 12 — energy consumption and breakdown")
@@ -270,92 +396,187 @@ def cmd_fig12(args) -> None:
             print(f"    {key:14s} {100 * share:5.1f}%")
 
 
+def cmd_list(args) -> None:
+    print("available targets:")
+    for name in sorted(COMMANDS):
+        print(f"  {name}")
+
+
+#: Command name -> (handler, which option groups it takes).
+#: Groups: "hw" = --lanes/--naive-auto; "obs" = --benchmark/--validate/-o;
+#: everything takes --kernel-backend.
 COMMANDS = {
-    "table1": cmd_table1,
-    "table2": cmd_table2,
-    "table4": cmd_table4,
-    "table6": cmd_table6,
-    "table7": cmd_table7,
-    "table8": cmd_table8,
-    "table9": cmd_table9,
-    "table10": cmd_table10,
-    "table11": cmd_table11,
-    "table12": cmd_table12,
-    "fig7": cmd_fig7,
-    "fig8": cmd_fig8,
-    "fig9": cmd_fig9,
-    "fig10": cmd_fig10,
-    "fig11": cmd_fig11,
-    "fig12": cmd_fig12,
-    "summary": cmd_summary,
-    "design": cmd_design,
-    "trace": cmd_trace,
-    "metrics": cmd_metrics,
+    "table1": (cmd_table1, ()),
+    "table2": (cmd_table2, ()),
+    "table4": (cmd_table4, ("hw",)),
+    "table6": (cmd_table6, ("hw",)),
+    "table7": (cmd_table7, ("hw",)),
+    "table8": (cmd_table8, ()),
+    "table9": (cmd_table9, ()),
+    "table10": (cmd_table10, ("hw",)),
+    "table11": (cmd_table11, ("hw",)),
+    "table12": (cmd_table12, ("hw",)),
+    "fig7": (cmd_fig7, ("hw",)),
+    "fig8": (cmd_fig8, ("hw",)),
+    "fig9": (cmd_fig9, ("hw",)),
+    "fig10": (cmd_fig10, ("radix",)),
+    "fig11": (cmd_fig11, ("workload",)),
+    "fig12": (cmd_fig12, ("hw",)),
+    "summary": (cmd_summary, ()),
+    "design": (cmd_design, ("workload",)),
+    "trace": (cmd_trace, ("hw", "obs")),
+    "metrics": (cmd_metrics, ("hw", "obs")),
+    "serve": (cmd_serve, ("hw", "serve")),
+    "list": (cmd_list, ()),
 }
+
+
+def _add_hw_options(sub) -> None:
+    sub.add_argument(
+        "--lanes", type=int, default=512,
+        help="vector lanes (default 512)",
+    )
+    sub.add_argument(
+        "--naive-auto", action="store_true",
+        help="use the naive Auto core instead of HFAuto",
+    )
+
+
+def _add_obs_options(sub) -> None:
+    sub.add_argument(
+        "--benchmark", default="resnet20",
+        help="benchmark to simulate (accepts aliases: resnet20, "
+             "lr, lstm, bootstrapping)",
+    )
+    sub.add_argument(
+        "--validate", action="store_true",
+        help="check schedule invariants (no overlap per core instance, "
+             "HBM channel budget, dependency order, time conservation) "
+             "on the simulated run before exporting",
+    )
+    sub.add_argument(
+        "-o", "--output", default=None,
+        help="output path for trace/metrics JSON "
+             "(default trace.json / metrics.json)",
+    )
+
+
+def _add_serve_options(sub) -> None:
+    sub.add_argument(
+        "--workload", default="keyswitch",
+        help="request job mix: keyswitch, streaming, a comma-separated "
+             "combination, or any paper-benchmark alias (resnet20, lr, "
+             "lstm, bootstrapping)",
+    )
+    sub.add_argument(
+        "--arrival-rate", type=float, default=100.0,
+        help="Poisson arrival rate in requests per simulated second "
+             "(default 100)",
+    )
+    sub.add_argument(
+        "--requests", type=int, default=16,
+        help="number of requests to generate (default 16; raise it for "
+             "tighter percentiles on the light mixes)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for arrivals and job-type choice; equal seeds "
+             "give bit-identical metrics (default 0)",
+    )
+    sub.add_argument(
+        "--arrival-trace", default=None,
+        help="replay arrivals from a JSON file holding a list of "
+             "timestamps in seconds (overrides --arrival-rate/--requests)",
+    )
+    sub.add_argument(
+        "--max-batch", type=int, default=8,
+        help="dynamic batcher: max requests admitted per batch "
+             "(default 8)",
+    )
+    sub.add_argument(
+        "--max-queue-delay", type=float, default=None,
+        help="force a partial batch out once the oldest queued request "
+             "has waited this many simulated seconds (default: no timer)",
+    )
+    sub.add_argument(
+        "--policy", choices=("fifo", "sjf"), default="fifo",
+        help="queue order: fifo (arrival) or sjf (shortest job first)",
+    )
+    sub.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="admission control: reject arrivals beyond this queue "
+             "depth (default: unbounded)",
+    )
+    sub.add_argument(
+        "--max-inflight", type=int, default=1,
+        help="batches allowed in flight concurrently (default 1)",
+    )
+    sub.add_argument(
+        "--validate", action="store_true",
+        help="check the merged served schedule against every engine "
+             "invariant before reporting",
+    )
+    sub.add_argument(
+        "-o", "--output", default=None,
+        help="write the serving metrics snapshot as JSON "
+             "(bit-identical across runs with the same seed)",
+    )
+    sub.add_argument(
+        "--trace", dest="trace_output", default=None,
+        help="write a Chrome trace with the serving track "
+             "(request spans + queue depth) to this path",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
-        description="Regenerate Poseidon (HPCA 2023) tables and figures.",
+        description="Regenerate Poseidon (HPCA 2023) tables and figures, "
+                    "or serve an open-system request stream.",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(COMMANDS) + ["list"],
-        help="which table/figure to regenerate",
+    subparsers = parser.add_subparsers(
+        dest="command", required=True, metavar="command",
+        help="which table/figure to regenerate (see 'list'), or 'serve'",
     )
-    parser.add_argument(
-        "--lanes", type=int, default=512,
-        help="vector lanes (default 512)",
-    )
-    parser.add_argument(
-        "--naive-auto", action="store_true",
-        help="use the naive Auto core instead of HFAuto",
-    )
-    parser.add_argument(
-        "--radix", type=int, nargs="+", default=[2, 3, 4, 5, 6],
-        help="fusion radices for fig10",
-    )
-    parser.add_argument(
-        "--workload", default="ResNet-20",
-        choices=["LR", "LSTM", "ResNet-20", "Packed Bootstrapping"],
-        help="workload for fig11",
-    )
-    parser.add_argument(
-        "--benchmark", default="resnet20",
-        help="benchmark for trace/metrics (accepts aliases: resnet20, "
-             "lr, lstm, bootstrapping)",
-    )
-    parser.add_argument(
-        "--validate", action="store_true",
-        help="check schedule invariants (no overlap per core instance, "
-             "HBM channel budget, dependency order, time conservation) "
-             "on the simulated run before exporting trace/metrics",
-    )
-    parser.add_argument(
-        "-o", "--output", default=None,
-        help="output path for trace/metrics JSON "
-             "(default trace.json / metrics.json)",
-    )
-    parser.add_argument(
-        "--kernel-backend", default=None,
-        choices=kernels.available_backends(),
-        help="functional-plane kernel backend (default: "
-             f"${kernels.BACKEND_ENV_VAR} or '{kernels.DEFAULT_BACKEND}')",
-    )
+    for name, (handler, groups) in sorted(COMMANDS.items()):
+        sub = subparsers.add_parser(
+            name, help=(handler.__doc__ or "").split("\n")[0] or None
+        )
+        sub.set_defaults(func=handler)
+        sub.add_argument(
+            "--kernel-backend", default=None,
+            choices=kernels.available_backends(),
+            help="functional-plane kernel backend for this invocation "
+                 f"(default: ${kernels.BACKEND_ENV_VAR} or "
+                 f"'{kernels.DEFAULT_BACKEND}'); restored afterwards",
+        )
+        if "hw" in groups:
+            _add_hw_options(sub)
+        if "obs" in groups:
+            _add_obs_options(sub)
+        if "serve" in groups:
+            _add_serve_options(sub)
+        if "radix" in groups:
+            sub.add_argument(
+                "--radix", type=int, nargs="+", default=[2, 3, 4, 5, 6],
+                help="fusion radices to sweep",
+            )
+        if "workload" in groups:
+            sub.add_argument(
+                "--workload", default="ResNet-20",
+                choices=PAPER_WORKLOADS,
+                help="paper workload",
+            )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.kernel_backend is not None:
-        kernels.set_backend(args.kernel_backend)
-    if args.command == "list":
-        print("available targets:")
-        for name in sorted(COMMANDS):
-            print(f"  {name}")
-        return 0
-    COMMANDS[args.command](args)
+    # Scoped override: the chosen backend applies to this dispatch only
+    # and the previous process-wide selection is restored afterwards
+    # (in-process callers — tests, notebooks — see no leaked state).
+    with kernels.use_backend(args.kernel_backend):
+        args.func(args)
     return 0
 
 

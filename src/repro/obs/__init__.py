@@ -38,8 +38,11 @@ from repro.obs.regression import (
 from repro.obs.trace_export import (
     chrome_trace,
     chrome_trace_events,
+    serving_chrome_trace,
+    serving_trace_events,
     write_chrome_trace,
     write_metrics_json,
+    write_serving_trace,
 )
 
 __all__ = [
@@ -58,6 +61,9 @@ __all__ = [
     "load_baseline",
     "make_baseline",
     "save_baseline",
+    "serving_chrome_trace",
+    "serving_trace_events",
     "write_chrome_trace",
     "write_metrics_json",
+    "write_serving_trace",
 ]

@@ -184,41 +184,59 @@ class MetricsRegistry:
 # ----------------------------------------------------------------------
 # Process-wide collection switch
 # ----------------------------------------------------------------------
-_active: MetricsRegistry | None = None
+# Collection contexts form a stack, not a single slot. The serving
+# layer runs many logical requests in one process, and collectors can
+# be opened from fixtures/generators whose exits do not nest cleanly;
+# the previous single-slot save/restore corrupted state under such
+# interleaved exits (an early exit disabled a still-open collector,
+# and a late exit resurrected a closed registry, silently contaminating
+# every later run). Each collector now removes exactly *itself* from
+# the stack on exit, wherever it sits, so out-of-order exits leave the
+# remaining collectors intact and nothing stays installed afterwards.
+_stack: list[MetricsRegistry] = []
 
 
 def active() -> MetricsRegistry | None:
-    """The installed registry, or ``None`` when collection is off."""
-    return _active
+    """The innermost installed registry, or ``None`` when collection
+    is off. Instrumented sites record only here: nested collectors are
+    isolated from their enclosing ones (no double counting)."""
+    return _stack[-1] if _stack else None
 
 
 def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
-    """Install a registry (a fresh one by default) and return it."""
-    global _active
-    _active = registry if registry is not None else MetricsRegistry()
-    return _active
+    """Install a registry (a fresh one by default) process-wide.
+
+    Replaces any open collection contexts; prefer :func:`collecting`
+    for scoped use.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    _stack[:] = [reg]
+    return reg
 
 
 def disable() -> None:
     """Turn collection off; instrumented sites return to the no-op path."""
-    global _active
-    _active = None
+    _stack.clear()
 
 
 @contextmanager
 def collecting(registry: MetricsRegistry | None = None):
     """Enable collection for a ``with`` block, restoring the prior state.
 
+    Contexts nest (the innermost registry collects, isolated from the
+    outer ones) and survive out-of-order exits: each exit removes its
+    own registry only, never another collector's.
+
     >>> with collecting() as reg:
     ...     simulator.run(program)
     >>> reg.snapshot()["sim.tasks"]
     """
-    previous = _active
-    reg = enable(registry)
+    reg = registry if registry is not None else MetricsRegistry()
+    _stack.append(reg)
     try:
         yield reg
     finally:
-        if previous is None:
-            disable()
-        else:
-            enable(previous)
+        for i in range(len(_stack) - 1, -1, -1):
+            if _stack[i] is reg:
+                del _stack[i]
+                break

@@ -1,0 +1,56 @@
+"""Open-system serving simulation on top of the warm schedule engine.
+
+Everything under :mod:`repro.sim` answers the closed-system question
+"how long does *this one program* take?". A served accelerator instead
+faces an *open* system: requests arrive over time, queue, get batched,
+and leave — and the numbers that matter are latency percentiles under
+load, sustained throughput, and queue depth, not a single makespan.
+
+The subsystem has four parts:
+
+- :mod:`repro.serve.arrivals` — deterministic-seeded arrival processes
+  (Poisson and trace replay);
+- :mod:`repro.serve.requests` — per-request FHE job types (light
+  operator mixes plus the paper benchmarks), compiled once and
+  submitted per request;
+- :mod:`repro.serve.batcher` — the dynamic batching / admission-control
+  policy (max batch size, max queue delay, FIFO vs shortest-job-first,
+  queue-depth backpressure);
+- :mod:`repro.serve.simulator` — the open-system loop itself: arrivals
+  feed the batcher, admitted batches are submitted onto a warm
+  :class:`repro.sim.engine.ScheduleEngine`, and per-request records
+  yield p50/p95/p99 latency, throughput and a queue-depth time series.
+
+Results export through the existing :mod:`repro.obs` pipeline: a
+``serve.*`` metrics namespace and a serving track (request spans +
+queue-depth counter) in the Chrome trace. The ``serve`` CLI subcommand
+and ``benchmarks/bench_serving_sweep.py`` build on this.
+"""
+
+from repro.serve.arrivals import PoissonArrivals, TraceArrivals
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.requests import (
+    REQUEST_MIXES,
+    RequestType,
+    request_type,
+    resolve_request_mix,
+)
+from repro.serve.simulator import (
+    RequestRecord,
+    ServingResult,
+    ServingSimulator,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "PoissonArrivals",
+    "REQUEST_MIXES",
+    "RequestRecord",
+    "RequestType",
+    "ServingResult",
+    "ServingSimulator",
+    "TraceArrivals",
+    "request_type",
+    "resolve_request_mix",
+]

@@ -1,0 +1,110 @@
+"""Per-request FHE job types for the serving simulator.
+
+A *request* is one tenant's unit of work: a short serial chain of FHE
+basic operations (ops within one request depend on each other — it is
+one ciphertext's pipeline). Concurrency in the served system comes
+only from *cross-request* overlap, which is exactly the operator-reuse
+effect the paper pitches: one stream's HAdd on the MA array while
+another's keyswitch holds NTT/MM.
+
+Two light mixes cover the two contention regimes (see
+``examples/batch_serving.py``), and every paper benchmark is also
+accepted as a (heavyweight) request body via its usual aliases.
+Programs are compiled once per job type and resubmitted per request —
+requests of one type share the compiled task DAG, offset into the warm
+engine's index space at admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.compiler.ops import FheOp, FheOpName
+from repro.compiler.program import OperatorProgram, compile_trace
+
+#: Ring shape of the light request mixes (matches the batch-serving
+#: example: paper-scale degree, mid-depth level).
+MIX_DEGREE = 1 << 16
+MIX_LEVEL = 30
+MIX_AUX = 4
+
+
+def _keyswitch_ops() -> list[FheOp]:
+    """One interactive request: add, multiply, rotate, scale."""
+    return [
+        FheOp.make(FheOpName.HADD, MIX_DEGREE, MIX_LEVEL),
+        FheOp.make(FheOpName.CMULT, MIX_DEGREE, MIX_LEVEL,
+                   aux_limbs=MIX_AUX),
+        FheOp.make(FheOpName.ROTATION, MIX_DEGREE, MIX_LEVEL,
+                   aux_limbs=MIX_AUX),
+        FheOp.make(FheOpName.PMULT, MIX_DEGREE, MIX_LEVEL),
+    ]
+
+
+def _streaming_ops() -> list[FheOp]:
+    """A bandwidth-bound request: element-wise adds and plain muls."""
+    ops = []
+    for _ in range(4):
+        ops.append(FheOp.make(FheOpName.HADD, MIX_DEGREE, MIX_LEVEL))
+        ops.append(FheOp.make(FheOpName.PMULT, MIX_DEGREE, MIX_LEVEL))
+    return ops
+
+
+#: Light request mixes, by name. Paper benchmarks are resolved
+#: dynamically (see :func:`request_type`) so this table stays cheap to
+#: import.
+REQUEST_MIXES = {
+    "keyswitch": _keyswitch_ops,
+    "streaming": _streaming_ops,
+}
+
+
+@dataclass(frozen=True)
+class RequestType:
+    """One job type: a name plus its compiled operator program."""
+
+    name: str
+    program: OperatorProgram = field(repr=False)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.program.tasks)
+
+
+@lru_cache(maxsize=None)
+def request_type(name: str) -> RequestType:
+    """Resolve a job-type name to its compiled :class:`RequestType`.
+
+    Accepts the light mix names (``keyswitch``, ``streaming``) and any
+    paper-benchmark spelling that
+    :func:`repro.workloads.resolve_benchmark` knows (``resnet20``,
+    ``lr``, ...). Compilation happens once per name per process.
+    """
+    key = name.strip().lower()
+    if key in REQUEST_MIXES:
+        ops = REQUEST_MIXES[key]()
+        return RequestType(name=key, program=compile_trace(ops))
+    from repro.workloads import PAPER_BENCHMARKS, resolve_benchmark
+
+    try:
+        canonical = resolve_benchmark(name)
+    except KeyError:
+        raise KeyError(
+            f"unknown request workload {name!r}; expected one of "
+            f"{sorted(REQUEST_MIXES)} or a paper benchmark alias"
+        ) from None
+    program = compile_trace(PAPER_BENCHMARKS[canonical]())
+    return RequestType(name=canonical, program=program)
+
+
+def resolve_request_mix(spec: str) -> tuple[RequestType, ...]:
+    """Parse a comma-separated workload spec into job types.
+
+    ``"keyswitch"`` serves one job type; ``"keyswitch,streaming"``
+    serves both, chosen per request by the simulator's seeded RNG.
+    """
+    names = [part for part in (p.strip() for p in spec.split(",")) if part]
+    if not names:
+        raise KeyError(f"empty request workload spec {spec!r}")
+    return tuple(request_type(name) for name in names)

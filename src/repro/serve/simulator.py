@@ -1,0 +1,436 @@
+"""The open-system serving loop over a warm schedule engine.
+
+The simulator is the master clock. It owns three co-evolving pieces:
+the arrival stream (pre-generated, deterministic), the
+:class:`~repro.serve.batcher.DynamicBatcher` (queue + policy), and one
+warm :class:`~repro.sim.engine.ScheduleEngine` carrying every admitted
+request's tasks. Each decision instant is the earliest of: the next
+arrival, the batcher's queue-delay deadline, and the engine's next
+event. The loop advances the engine to that instant, collects request
+completions, enqueues (or rejects) arrivals, and launches batches the
+policy allows — so admission reacts to completions exactly as a real
+scheduler's would, while every choice remains a pure function of the
+seed.
+
+Per-request records (arrival, admit, start, finish) come out the other
+end; :class:`ServingResult` turns them into latency percentiles,
+throughput and a queue-depth time series, publishes a ``serve.*``
+metrics namespace when collection is on, and can validate the merged
+schedule against every invariant in :mod:`repro.sim.validate`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.obs import metrics
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.requests import RequestType, resolve_request_mix
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import (
+    PoseidonSimulator,
+    ScheduleEngine,
+    SimulationResult,
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One arrived request: a job type at an arrival instant."""
+
+    request_id: int
+    job: RequestType
+    arrival_seconds: float
+    service_estimate: float
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one request through the served system.
+
+    ``admit/start/finish`` stay ``None`` for rejected requests.
+    ``start_seconds`` is when the request's first task actually
+    occupied a core (a batch admits all members at once, but the
+    engine dispatches them as resources free up).
+    """
+
+    request_id: int
+    job: str
+    arrival_seconds: float
+    admit_seconds: float | None = None
+    start_seconds: float | None = None
+    finish_seconds: float | None = None
+    batch_index: int | None = None
+    rejected: bool = False
+    _base: int = field(repr=False, default=-1)
+    _count: int = field(repr=False, default=0)
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Arrival-to-finish time (the number a client experiences)."""
+        if self.finish_seconds is None:
+            return None
+        return self.finish_seconds - self.arrival_seconds
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Arrival-to-admission time spent in the batcher's queue."""
+        if self.admit_seconds is None:
+            return None
+        return self.admit_seconds - self.arrival_seconds
+
+
+@dataclass
+class _Batch:
+    index: int
+    admit_seconds: float
+    size: int
+    remaining: int
+
+
+class ServingResult:
+    """Aggregate outcome of one served run."""
+
+    def __init__(
+        self,
+        *,
+        records: list[RequestRecord],
+        sim: SimulationResult,
+        program,
+        queue_depth_series: list[tuple[float, int]],
+        batches: int,
+        config: HardwareConfig,
+        policy: BatchPolicy,
+    ):
+        self.records = records
+        self.sim = sim
+        self.program = program
+        self.queue_depth_series = queue_depth_series
+        self.batches = batches
+        self.config = config
+        self.policy = policy
+
+    # -- request accounting -------------------------------------------
+    @property
+    def arrived(self) -> int:
+        return len(self.records)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.records if r.rejected)
+
+    @property
+    def admitted(self) -> int:
+        return self.arrived - self.rejected
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            1 for r in self.records if r.finish_seconds is not None
+        )
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.sim.total_seconds
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(
+            (depth for _, depth in self.queue_depth_series), default=0
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per simulated second."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.completed / self.makespan_seconds
+
+    def latencies(self) -> list[float]:
+        """Sorted completed-request latencies."""
+        return sorted(
+            r.latency_seconds
+            for r in self.records
+            if r.latency_seconds is not None
+        )
+
+    def latency_percentile(self, q: float) -> float:
+        """Exact nearest-rank latency quantile over completed requests."""
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must be in [0, 1], got {q}")
+        ordered = self.latencies()
+        if not ordered:
+            return 0.0
+        idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[idx]
+
+    def summary(self) -> dict:
+        """Flat, JSON-ready headline numbers (deterministic)."""
+        ordered = self.latencies()
+        mean = sum(ordered) / len(ordered) if ordered else 0.0
+        return {
+            "requests_arrived": self.arrived,
+            "requests_admitted": self.admitted,
+            "requests_rejected": self.rejected,
+            "requests_completed": self.completed,
+            "batches": self.batches,
+            "throughput_rps": self.throughput_rps,
+            "latency_mean_seconds": mean,
+            "latency_p50_seconds": self.latency_percentile(0.50),
+            "latency_p95_seconds": self.latency_percentile(0.95),
+            "latency_p99_seconds": self.latency_percentile(0.99),
+            "max_queue_depth": self.max_queue_depth,
+            "makespan_seconds": self.makespan_seconds,
+        }
+
+    def validate(self) -> None:
+        """Check the served schedule against every engine invariant."""
+        from repro.sim.validate import validate_schedule
+
+        validate_schedule(
+            self.sim, program=self.program, config=self.config
+        )
+
+
+class ServingSimulator:
+    """Open-system serving simulation on the modelled accelerator."""
+
+    def __init__(
+        self,
+        config: HardwareConfig | None = None,
+        policy: BatchPolicy | None = None,
+    ):
+        self.config = config or HardwareConfig()
+        self.policy = policy or BatchPolicy()
+        self._estimates: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _service_estimate(
+        self, engine: ScheduleEngine, job: RequestType
+    ) -> float:
+        """Serial-execution estimate (SJF key), cached per job type."""
+        est = self._estimates.get(job.name)
+        if est is None:
+            cfg = engine.config
+            est = sum(
+                max(
+                    engine.cores.task_cycles(t).cycles * cfg.cycle_seconds,
+                    engine.memory.task_timing(t).spad_seconds,
+                )
+                for t in job.program.tasks
+            )
+            self._estimates[job.name] = est
+        return est
+
+    def run(
+        self,
+        workloads: str | tuple[RequestType, ...],
+        arrivals,
+        *,
+        seed: int = 0,
+    ) -> ServingResult:
+        """Serve one arrival stream to completion.
+
+        Args:
+            workloads: a request-mix spec (``"keyswitch"``,
+                ``"keyswitch,streaming"``, a paper-benchmark alias) or
+                pre-resolved :class:`RequestType` tuple. With several
+                job types, each arrival draws its type from a seeded
+                RNG.
+            arrivals: an arrival process
+                (:class:`~repro.serve.arrivals.PoissonArrivals`,
+                :class:`~repro.serve.arrivals.TraceArrivals`, or any
+                object with a ``times()`` method).
+            seed: drives the job-type draw; arrival times carry their
+                own seed.
+        """
+        if isinstance(workloads, str):
+            jobs = resolve_request_mix(workloads)
+        else:
+            jobs = tuple(workloads)
+        if not jobs:
+            raise ParameterError("need at least one request job type")
+        times = arrivals.times()
+        engine = ScheduleEngine(self.config)
+        job_rng = random.Random(f"repro.serve.jobs:{seed}")
+
+        requests: list[Request] = []
+        records: list[RequestRecord] = []
+        for rid, t in enumerate(times):
+            job = jobs[0] if len(jobs) == 1 else job_rng.choice(jobs)
+            requests.append(
+                Request(
+                    request_id=rid,
+                    job=job,
+                    arrival_seconds=t,
+                    service_estimate=self._service_estimate(engine, job),
+                )
+            )
+            records.append(
+                RequestRecord(
+                    request_id=rid, job=job.name, arrival_seconds=t
+                )
+            )
+
+        batcher = DynamicBatcher(self.policy)
+        depth_series: list[tuple[float, int]] = [(0.0, 0)]
+        by_submission: dict[int, tuple[RequestRecord, _Batch]] = {}
+        batches: list[_Batch] = []
+        inflight = 0
+        completion_ptr = 0
+        ai = 0
+        now = 0.0
+        n = len(requests)
+
+        while ai < n or batcher.depth or inflight:
+            # Launch whatever the policy allows at the current instant.
+            while batcher.should_launch(now, inflight, ai < n):
+                members = batcher.take_batch(now)
+                batch = _Batch(
+                    index=len(batches),
+                    admit_seconds=now,
+                    size=len(members),
+                    remaining=len(members),
+                )
+                batches.append(batch)
+                inflight += 1
+                for req in members:
+                    sub = engine.submit(
+                        req.job.program.tasks,
+                        release=now,
+                        label=f"req{req.request_id}:{req.job.name}",
+                    )
+                    rec = records[req.request_id]
+                    rec.admit_seconds = now
+                    rec.batch_index = batch.index
+                    rec._base = sub.base
+                    rec._count = sub.count
+                    by_submission[sub.index] = (rec, batch)
+                depth_series.append((now, batcher.depth))
+
+            # Earliest decision instant: arrival, deadline, or engine.
+            candidates = []
+            if ai < n:
+                candidates.append(requests[ai].arrival_seconds)
+            if (
+                batcher.depth
+                and inflight < self.policy.max_inflight_batches
+            ):
+                deadline = batcher.next_deadline()
+                if deadline is not None:
+                    candidates.append(deadline)
+            next_event = engine.next_event_time()
+            if next_event is not None:
+                candidates.append(next_event)
+            if not candidates:  # pragma: no cover - loop invariant
+                break
+            horizon = min(candidates)
+            engine.advance_until(horizon)
+
+            # Request completions release batch slots.
+            while completion_ptr < len(engine.completions):
+                sub = engine.completions[completion_ptr]
+                completion_ptr += 1
+                rec, batch = by_submission[sub.index]
+                rec.finish_seconds = sub.finish_seconds
+                batch.remaining -= 1
+                if batch.remaining == 0:
+                    inflight -= 1
+
+            # Arrivals at (or before) the horizon enter the queue.
+            while ai < n and requests[ai].arrival_seconds <= horizon:
+                req = requests[ai]
+                ai += 1
+                if batcher.offer(req):
+                    depth_series.append(
+                        (req.arrival_seconds, batcher.depth)
+                    )
+                else:
+                    records[req.request_id].rejected = True
+            now = max(now, horizon)
+
+        engine.drain()
+        sim = engine.result()
+
+        # Per-request start: first core dispatch among the request's
+        # tasks (admission puts a batch in the engine all at once, but
+        # dispatch waits for free instances).
+        for rec in records:
+            if rec._base >= 0 and rec._count:
+                rec.start_seconds = min(
+                    r.start
+                    for r in sim.task_records[
+                        rec._base:rec._base + rec._count
+                    ]
+                )
+
+        source_ops = []
+        for sub in engine.submissions:
+            rec, _ = by_submission[sub.index]
+            job = next(
+                j for j in jobs
+                if j.name == rec.job
+            )
+            source_ops.extend(job.program.source_ops)
+        result = ServingResult(
+            records=records,
+            sim=sim,
+            program=engine.as_program(source_ops),
+            queue_depth_series=depth_series,
+            batches=len(batches),
+            config=self.config,
+            policy=self.policy,
+        )
+
+        reg = metrics.active()
+        if reg is not None:
+            self._record_metrics(reg, result)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_metrics(reg, result: ServingResult) -> None:
+        """Publish the served run into the active metrics registry.
+
+        The engine's ``sim.*`` spans are published too, so one
+        collection context sees both the hardware-level and the
+        serving-level view of the same run.
+        """
+        sim = result.sim
+        PoseidonSimulator._record_metrics(
+            reg,
+            sim.task_records,
+            sim.total_seconds,
+            sim.hbm_busy_seconds,
+            sim.core_busy_seconds,
+            sim.core_stall_seconds,
+        )
+        reg.counter("serve.requests.arrived").inc(result.arrived)
+        reg.counter("serve.requests.admitted").inc(result.admitted)
+        reg.counter("serve.requests.rejected").inc(result.rejected)
+        reg.counter("serve.requests.completed").inc(result.completed)
+        reg.counter("serve.batches").inc(result.batches)
+        reg.gauge("serve.throughput_rps").set(result.throughput_rps)
+        reg.gauge("serve.queue_depth.max").set(result.max_queue_depth)
+        reg.gauge("serve.makespan_seconds").set(result.makespan_seconds)
+        reg.gauge("serve.latency.p50_seconds").set(
+            result.latency_percentile(0.50)
+        )
+        reg.gauge("serve.latency.p95_seconds").set(
+            result.latency_percentile(0.95)
+        )
+        reg.gauge("serve.latency.p99_seconds").set(
+            result.latency_percentile(0.99)
+        )
+        latency_h = reg.histogram("serve.request.latency_seconds")
+        wait_h = reg.histogram("serve.request.queue_wait_seconds")
+        for rec in result.records:
+            if rec.latency_seconds is not None:
+                latency_h.observe(rec.latency_seconds)
+            if rec.queue_wait_seconds is not None:
+                wait_h.observe(rec.queue_wait_seconds)
+        depth_h = reg.histogram("serve.queue.depth")
+        for _, depth in result.queue_depth_series:
+            depth_h.observe(float(depth))

@@ -181,9 +181,397 @@ def _merged_length(intervals: list[tuple[float, float]]) -> float:
 
 
 #: Event kinds, ordered so arrivals at a time t are visible before the
-#: grant/dispatch passes triggered by releases at the same t.
+#: grant/dispatch passes triggered by releases at the same t, and both
+#: before completion notifications at the same t.
 _EV_READY = 0
 _EV_RELEASE = 1
+_EV_COMPLETE = 2
+
+
+@dataclass
+class Submission:
+    """One admitted task list on a :class:`ScheduleEngine`.
+
+    ``finish_seconds`` stays ``None`` until every task in the
+    submission has committed its end time. ``base``/``count`` locate
+    the submission's tasks in the engine's global index space (and in
+    the eventual :class:`SimulationResult` record list).
+    """
+
+    index: int
+    base: int
+    count: int
+    release_seconds: float
+    label: str = ""
+    finish_seconds: float | None = None
+    _remaining: int = field(repr=False, default=0)
+    _max_end: float = field(repr=False, default=0.0)
+
+    @property
+    def done(self) -> bool:
+        return self.finish_seconds is not None
+
+
+class ScheduleEngine:
+    """Incremental ("warm") event-driven scheduler.
+
+    Holds the live resource state — per-instance core free times, HBM
+    pseudo-channel slots, ready/grant queues and the event heap — so
+    task lists can be :meth:`submit`-ted at *any* simulated time, while
+    previously admitted work is still in flight. The open-system
+    serving layer (:mod:`repro.serve`) interleaves admissions with
+    :meth:`advance_until`; the closed-system
+    :meth:`PoseidonSimulator.run` is the special case of one submission
+    at t=0 followed by :meth:`drain`.
+
+    Scheduling semantics are identical to the one-shot engine: a task
+    becomes ready at ``max(release, dependency ends)``, transfers are
+    granted channel slots in ready order with no head-of-line blocking,
+    and a ready task dispatches onto the first free instance of its
+    core array.
+    """
+
+    def __init__(
+        self,
+        config: HardwareConfig | None = None,
+        *,
+        cores: CoreModel | None = None,
+        memory: MemoryModel | None = None,
+    ):
+        self.config = config or HardwareConfig()
+        self.cores = cores or CoreModel(self.config)
+        self.memory = memory or MemoryModel(self.config)
+        cfg = self.config
+        # Resource state: per-instance core free times (None = occupied
+        # by a task whose stream has not been granted yet, so its end is
+        # still unknown) and per-pseudo-channel HBM slot free times.
+        self._inst_free: dict[str, list[float | None]] = {
+            name: [0.0] * cfg.instances_of(name) for name in CORE_NAMES
+        }
+        self._chan_free: list[float] = [0.0] * cfg.hbm_channels
+        self._events: list[tuple[float, int, int]] = []
+        self._core_queue: dict[str, list[tuple[float, int]]] = {
+            name: [] for name in CORE_NAMES
+        }
+        self._hbm_queue: list[tuple[float, int]] = []
+        self._hbm_intervals: list[tuple[float, float]] = []
+        self._finished = 0
+        self._now = 0.0
+        # Per-task state, indexed by global task id (grows on submit).
+        self._tasks: list = []
+        self._timings: list = []
+        self._mems: list = []
+        self._durations: list[float] = []
+        self._remaining: list[int] = []
+        self._dependents: list[list[int]] = []
+        self._ready: list[float] = []
+        self._start: list[float | None] = []
+        self._hbm_span: list[tuple[float, float] | None] = []
+        self._end: list[float | None] = []
+        self._instance_of: list[int] = []
+        self._owner: list[Submission] = []
+        self.submissions: list[Submission] = []
+        #: Submissions in the order they completed (serving layer polls
+        #: this after each :meth:`advance_until`).
+        self.completions: list[Submission] = []
+
+    # -- admission -----------------------------------------------------
+    def submit(
+        self, tasks, *, release: float = 0.0, label: str = ""
+    ) -> Submission:
+        """Admit a task list; its tasks become ready no earlier than
+        ``release``.
+
+        Dependency indices in ``tasks`` are local to the list (the
+        compiler's convention) and are re-based onto the engine's
+        global index space.
+        """
+        if release < self._now:
+            raise SchedulingError(
+                f"cannot submit in the past: release {release} < "
+                f"engine time {self._now}"
+            )
+        base = len(self._tasks)
+        submission = Submission(
+            index=len(self.submissions),
+            base=base,
+            count=len(tasks),
+            release_seconds=release,
+            label=label,
+            _remaining=len(tasks),
+        )
+        self.submissions.append(submission)
+        if not tasks:
+            submission.finish_seconds = release
+            heapq.heappush(
+                self._events, (release, _EV_COMPLETE, submission.index)
+            )
+            return submission
+        cfg = self.config
+        for local, task in enumerate(tasks):
+            i = base + local
+            timing = self.cores.task_cycles(task)
+            if timing.core not in CORE_NAMES:
+                raise SchedulingError(
+                    f"task {i} targets unknown core {timing.core!r}"
+                )
+            for dep in task.depends_on:
+                if dep < 0 or dep >= local:
+                    raise SchedulingError(
+                        f"task {i} has forward/invalid dependency {dep}"
+                    )
+            mem = self.memory.task_timing(task)
+            self._tasks.append(task.shifted(base) if base else task)
+            self._timings.append(timing)
+            self._mems.append(mem)
+            self._durations.append(
+                max(timing.cycles * cfg.cycle_seconds, mem.spad_seconds)
+            )
+            uniq = {dep + base for dep in task.depends_on}
+            self._remaining.append(len(uniq))
+            self._dependents.append([])
+            for dep in uniq:
+                self._dependents[dep].append(i)
+            self._ready.append(release)
+            self._start.append(None)
+            self._hbm_span.append(
+                (0.0, 0.0) if mem.hbm_bytes == 0 else None
+            )
+            self._end.append(None)
+            self._instance_of.append(0)
+            self._owner.append(submission)
+            if not uniq:
+                heapq.heappush(self._events, (release, _EV_READY, i))
+        return submission
+
+    # -- event processing ----------------------------------------------
+    def _finalize(self, i: int) -> None:
+        """Both dispatch and grant committed: the end is known."""
+        task_end = max(self._start[i] + self._durations[i],
+                       self._hbm_span[i][1])
+        self._end[i] = task_end
+        self._inst_free[self._timings[i].core][self._instance_of[i]] = (
+            task_end
+        )
+        heapq.heappush(self._events, (task_end, _EV_RELEASE, -1))
+        self._finished += 1
+        owner = self._owner[i]
+        if task_end > owner._max_end:
+            owner._max_end = task_end
+        owner._remaining -= 1
+        if owner._remaining == 0:
+            # The end is *known* now (dispatch commits it analytically),
+            # but the completion is only observable once simulated time
+            # reaches it — the serving layer polls ``completions`` after
+            # advance_until() and must not see a finish from the future
+            # (it would free a batch slot while cores are still busy).
+            owner.finish_seconds = owner._max_end
+            heapq.heappush(
+                self._events,
+                (owner._max_end, _EV_COMPLETE, owner.index),
+            )
+        for d in self._dependents[i]:
+            if task_end > self._ready[d]:
+                self._ready[d] = task_end
+            self._remaining[d] -= 1
+            if self._remaining[d] == 0:
+                heapq.heappush(
+                    self._events, (self._ready[d], _EV_READY, d)
+                )
+
+    def _grant_pass(self, t: float) -> None:
+        """Grant channel slots to ready transfers, in ready order.
+
+        A transfer that does not fit is bypassed (no head-of-line
+        blocking) and retried at the next release event.
+        """
+        if not self._hbm_queue:
+            return
+        deferred = []
+        while self._hbm_queue:
+            entry = heapq.heappop(self._hbm_queue)
+            i = entry[1]
+            need = self._mems[i].channels_used
+            free_slots = [
+                s for s, free in enumerate(self._chan_free) if free <= t
+            ]
+            if len(free_slots) < need:
+                deferred.append(entry)
+                continue
+            done = t + self._mems[i].hbm_seconds
+            for s in free_slots[:need]:
+                self._chan_free[s] = done
+            self._hbm_span[i] = (t, done)
+            self._hbm_intervals.append((t, done))
+            heapq.heappush(self._events, (done, _EV_RELEASE, -1))
+            if self._start[i] is not None:
+                self._finalize(i)
+        for entry in deferred:
+            heapq.heappush(self._hbm_queue, entry)
+
+    def _dispatch_pass(self, t: float) -> None:
+        """Dispatch ready tasks onto free core instances."""
+        for core in CORE_NAMES:
+            queue = self._core_queue[core]
+            frees = self._inst_free[core]
+            while queue:
+                k = next(
+                    (j for j, f in enumerate(frees)
+                     if f is not None and f <= t),
+                    None,
+                )
+                if k is None:
+                    break
+                i = heapq.heappop(queue)[1]
+                self._start[i] = t
+                self._instance_of[i] = k
+                if self._hbm_span[i] is not None:
+                    self._finalize(i)
+                else:
+                    # Core held; end unknown until the HBM grant.
+                    frees[k] = None
+
+    def _step(self) -> None:
+        """Process exactly one event from the heap."""
+        t, kind, payload = heapq.heappop(self._events)
+        self._now = max(self._now, t)
+        if kind == _EV_READY:
+            i = payload
+            if self._mems[i].hbm_bytes > 0:
+                heapq.heappush(self._hbm_queue, (self._ready[i], i))
+            heapq.heappush(
+                self._core_queue[self._timings[i].core],
+                (self._ready[i], i),
+            )
+        elif kind == _EV_COMPLETE:
+            self.completions.append(self.submissions[payload])
+            return
+        self._grant_pass(t)
+        self._dispatch_pass(t)
+
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest pending event, if any."""
+        return self._events[0][0] if self._events else None
+
+    def advance_until(self, t: float) -> None:
+        """Process every pending event with timestamp <= ``t``."""
+        while self._events and self._events[0][0] <= t:
+            self._step()
+        if t > self._now:
+            self._now = t
+
+    def drain(self) -> None:
+        """Process all pending events (run the admitted work dry)."""
+        while self._events:
+            self._step()
+
+    @property
+    def now(self) -> float:
+        """Current engine time (latest processed event or advance)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Admitted tasks whose end is not yet committed."""
+        return len(self._tasks) - self._finished
+
+    # -- results -------------------------------------------------------
+    def as_program(self, source_ops=()) -> "OperatorProgram":
+        """The merged tasks of every submission, as one compiled program.
+
+        Record ``i`` of :meth:`result` corresponds to task ``i`` of
+        this program, so :func:`repro.sim.validate.validate_schedule`
+        can check dependency ordering across the whole served run.
+        """
+        from repro.compiler.program import OperatorProgram
+
+        return OperatorProgram(
+            tasks=tuple(self._tasks),
+            op_boundaries=tuple(
+                (s.base, s.base + s.count) for s in self.submissions
+            ),
+            source_ops=tuple(source_ops),
+        )
+
+    def result(self) -> SimulationResult:
+        """Aggregate statistics over every submitted task.
+
+        Requires the engine to be drained (every task finished).
+        """
+        n = len(self._tasks)
+        if self._finished != n:
+            raise SchedulingError(
+                f"engine finished {self._finished}/{n} tasks; call "
+                "drain() before result()"
+            )
+        cfg = self.config
+        core_busy: dict[str, float] = defaultdict(float)
+        core_stall: dict[str, float] = defaultdict(float)
+        op_seconds: dict[str, float] = defaultdict(float)
+        operator_seconds: dict[str, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        hbm_bytes_total = 0
+        records: list[TaskRecord] = []
+        makespan = 0.0
+        for i, task in enumerate(self._tasks):
+            mem = self._mems[i]
+            core = self._timings[i].core
+            compute = self._timings[i].cycles * cfg.cycle_seconds
+            hbm_start, hbm_end = self._hbm_span[i]
+            busy = self._durations[i]
+            start = self._start[i]
+            end = self._end[i]
+            ready = self._ready[i]
+            # Clamp tiny float-negative residues so stall stays a
+            # physical (non-negative) quantity and monotone counters
+            # downstream never see a negative increment.
+            stall = max(0.0, end - start - busy)
+            core_wait = max(0.0, start - ready)
+            hbm_wait = (
+                max(0.0, hbm_start - ready) if mem.hbm_bytes else 0.0
+            )
+            makespan = max(makespan, end)
+            hbm_bytes_total += mem.hbm_bytes
+            core_busy[core] += busy
+            core_stall[core] += stall
+            label = task.op_label or "unlabelled"
+            op_seconds[label] += busy
+            operator_seconds[label][core] += busy
+            records.append(
+                TaskRecord(
+                    start=start,
+                    end=end,
+                    core=core,
+                    compute_seconds=compute,
+                    hbm_seconds=mem.hbm_seconds,
+                    hbm_bytes=mem.hbm_bytes,
+                    op_label=label,
+                    queue_wait_seconds=max(core_wait, hbm_wait),
+                    hbm_start=hbm_start,
+                    hbm_end=hbm_end,
+                    instance=self._instance_of[i],
+                    ready_seconds=ready,
+                    stall_seconds=stall,
+                    core_wait_seconds=core_wait,
+                    hbm_wait_seconds=hbm_wait,
+                    hbm_channels_used=(
+                        mem.channels_used if mem.hbm_bytes else 0
+                    ),
+                )
+            )
+        return SimulationResult(
+            total_seconds=makespan,
+            core_busy_seconds=dict(core_busy),
+            op_seconds=dict(op_seconds),
+            operator_seconds={
+                k: dict(v) for k, v in operator_seconds.items()
+            },
+            hbm_busy_seconds=_merged_length(list(self._hbm_intervals)),
+            hbm_bytes=hbm_bytes_total,
+            task_records=records,
+            core_stall_seconds=dict(core_stall),
+        )
 
 
 class PoseidonSimulator:
@@ -196,220 +584,29 @@ class PoseidonSimulator:
 
     # ------------------------------------------------------------------
     def run(self, program: "OperatorProgram") -> SimulationResult:
-        """Simulate a compiled program and return aggregate statistics."""
-        tasks = program.tasks
-        n = len(tasks)
-        cfg = self.config
+        """Simulate a compiled program and return aggregate statistics.
 
-        # Pre-pass: cycle/memory timing and dependency bookkeeping.
-        timings = []
-        mems = []
-        durations = []
-        remaining = [0] * n
-        dependents: list[list[int]] = [[] for _ in range(n)]
-        for i, task in enumerate(tasks):
-            timing = self.cores.task_cycles(task)
-            if timing.core not in CORE_NAMES:
-                raise SchedulingError(
-                    f"task {i} targets unknown core {timing.core!r}"
-                )
-            for dep in task.depends_on:
-                if dep < 0 or dep >= i:
-                    raise SchedulingError(
-                        f"task {i} has forward/invalid dependency {dep}"
-                    )
-            mem = self.memory.task_timing(task)
-            timings.append(timing)
-            mems.append(mem)
-            durations.append(
-                max(timing.cycles * cfg.cycle_seconds, mem.spad_seconds)
-            )
-            uniq = set(task.depends_on)
-            remaining[i] = len(uniq)
-            for dep in uniq:
-                dependents[dep].append(i)
-
-        # Resource state: per-instance core free times (None = occupied
-        # by a task whose stream has not been granted yet, so its end is
-        # still unknown) and per-pseudo-channel HBM slot free times.
-        inst_free: dict[str, list[float | None]] = {
-            name: [0.0] * cfg.instances_of(name) for name in CORE_NAMES
-        }
-        chan_free = [0.0] * cfg.hbm_channels
-
-        ready = [0.0] * n
-        start: list[float | None] = [None] * n
-        hbm_span: list[tuple[float, float] | None] = [
-            (0.0, 0.0) if mems[i].hbm_bytes == 0 else None for i in range(n)
-        ]
-        end: list[float | None] = [None] * n
-        instance_of = [0] * n
-
-        events: list[tuple[float, int, int]] = []
-        core_queue: dict[str, list[tuple[float, int]]] = {
-            name: [] for name in CORE_NAMES
-        }
-        hbm_queue: list[tuple[float, int]] = []
-        hbm_intervals: list[tuple[float, float]] = []
-        finished = 0
-
-        def finalize(i: int) -> None:
-            """Both dispatch and grant committed: the end is known."""
-            nonlocal finished
-            task_end = max(start[i] + durations[i], hbm_span[i][1])
-            end[i] = task_end
-            inst_free[timings[i].core][instance_of[i]] = task_end
-            heapq.heappush(events, (task_end, _EV_RELEASE, -1))
-            finished += 1
-            for d in dependents[i]:
-                if task_end > ready[d]:
-                    ready[d] = task_end
-                remaining[d] -= 1
-                if remaining[d] == 0:
-                    heapq.heappush(events, (ready[d], _EV_READY, d))
-
-        def grant_pass(t: float) -> None:
-            """Grant channel slots to ready transfers, in ready order.
-
-            A transfer that does not fit is bypassed (no head-of-line
-            blocking) and retried at the next release event.
-            """
-            if not hbm_queue:
-                return
-            deferred = []
-            while hbm_queue:
-                entry = heapq.heappop(hbm_queue)
-                i = entry[1]
-                need = mems[i].channels_used
-                free_slots = [
-                    s for s, free in enumerate(chan_free) if free <= t
-                ]
-                if len(free_slots) < need:
-                    deferred.append(entry)
-                    continue
-                done = t + mems[i].hbm_seconds
-                for s in free_slots[:need]:
-                    chan_free[s] = done
-                hbm_span[i] = (t, done)
-                hbm_intervals.append((t, done))
-                heapq.heappush(events, (done, _EV_RELEASE, -1))
-                if start[i] is not None:
-                    finalize(i)
-            for entry in deferred:
-                heapq.heappush(hbm_queue, entry)
-
-        def dispatch_pass(t: float) -> None:
-            """Dispatch ready tasks onto free core instances."""
-            for core in CORE_NAMES:
-                queue = core_queue[core]
-                frees = inst_free[core]
-                while queue:
-                    k = next(
-                        (j for j, f in enumerate(frees)
-                         if f is not None and f <= t),
-                        None,
-                    )
-                    if k is None:
-                        break
-                    i = heapq.heappop(queue)[1]
-                    start[i] = t
-                    instance_of[i] = k
-                    if hbm_span[i] is not None:
-                        finalize(i)
-                    else:
-                        # Core held; end unknown until the HBM grant.
-                        frees[k] = None
-
-        for i in range(n):
-            if remaining[i] == 0:
-                heapq.heappush(events, (0.0, _EV_READY, i))
-
-        while events:
-            t, kind, payload = heapq.heappop(events)
-            if kind == _EV_READY:
-                i = payload
-                if mems[i].hbm_bytes > 0:
-                    heapq.heappush(hbm_queue, (ready[i], i))
-                heapq.heappush(core_queue[timings[i].core], (ready[i], i))
-            grant_pass(t)
-            dispatch_pass(t)
-
-        if finished != n:  # pragma: no cover - internal invariant
-            raise SchedulingError(
-                f"scheduler finished {finished}/{n} tasks (internal bug)"
-            )
-
-        # Aggregate statistics from the committed schedule.
-        core_busy: dict[str, float] = defaultdict(float)
-        core_stall: dict[str, float] = defaultdict(float)
-        op_seconds: dict[str, float] = defaultdict(float)
-        operator_seconds: dict[str, dict[str, float]] = defaultdict(
-            lambda: defaultdict(float)
+        The closed-system special case of :class:`ScheduleEngine`: one
+        submission at t=0, drained to completion.
+        """
+        engine = ScheduleEngine(
+            self.config, cores=self.cores, memory=self.memory
         )
-        hbm_bytes_total = 0
-        records: list[TaskRecord] = []
-        makespan = 0.0
-        for i, task in enumerate(tasks):
-            mem = mems[i]
-            core = timings[i].core
-            compute = timings[i].cycles * cfg.cycle_seconds
-            hbm_start, hbm_end = hbm_span[i]
-            busy = durations[i]
-            # Clamp tiny float-negative residues so stall stays a
-            # physical (non-negative) quantity and monotone counters
-            # downstream never see a negative increment.
-            stall = max(0.0, end[i] - start[i] - busy)
-            core_wait = max(0.0, start[i] - ready[i])
-            hbm_wait = max(0.0, hbm_start - ready[i]) if mem.hbm_bytes else 0.0
-            makespan = max(makespan, end[i])
-            hbm_bytes_total += mem.hbm_bytes
-            core_busy[core] += busy
-            core_stall[core] += stall
-            label = task.op_label or "unlabelled"
-            op_seconds[label] += busy
-            operator_seconds[label][core] += busy
-            records.append(
-                TaskRecord(
-                    start=start[i],
-                    end=end[i],
-                    core=core,
-                    compute_seconds=compute,
-                    hbm_seconds=mem.hbm_seconds,
-                    hbm_bytes=mem.hbm_bytes,
-                    op_label=label,
-                    queue_wait_seconds=max(core_wait, hbm_wait),
-                    hbm_start=hbm_start,
-                    hbm_end=hbm_end,
-                    instance=instance_of[i],
-                    ready_seconds=ready[i],
-                    stall_seconds=stall,
-                    core_wait_seconds=core_wait,
-                    hbm_wait_seconds=hbm_wait,
-                    hbm_channels_used=(
-                        mem.channels_used if mem.hbm_bytes else 0
-                    ),
-                )
-            )
+        engine.submit(program.tasks)
+        engine.drain()
+        result = engine.result()
 
         reg = metrics.active()
         if reg is not None:
             self._record_metrics(
-                reg, records, makespan,
-                _merged_length(hbm_intervals), core_busy, core_stall,
+                reg,
+                result.task_records,
+                result.total_seconds,
+                result.hbm_busy_seconds,
+                result.core_busy_seconds,
+                result.core_stall_seconds,
             )
-
-        return SimulationResult(
-            total_seconds=makespan,
-            core_busy_seconds=dict(core_busy),
-            op_seconds=dict(op_seconds),
-            operator_seconds={
-                k: dict(v) for k, v in operator_seconds.items()
-            },
-            hbm_busy_seconds=_merged_length(hbm_intervals),
-            hbm_bytes=hbm_bytes_total,
-            task_records=records,
-            core_stall_seconds=dict(core_stall),
-        )
+        return result
 
     @staticmethod
     def _record_metrics(

@@ -130,3 +130,77 @@ class TestCollectionSwitch:
         finally:
             metrics.disable()
         assert metrics.active() is None
+
+class TestCollectionIsolation:
+    """Regression tests for the cross-contamination bug: the old
+    single-slot save/restore broke under exits that do not nest
+    cleanly (fixtures, generators, interleaved ``with`` blocks) — an
+    early exit disabled a still-open collector, and a late exit
+    resurrected a closed registry that then silently absorbed every
+    later run's metrics."""
+
+    def test_nested_collector_isolated_from_outer(self):
+        with metrics.collecting() as outer:
+            metrics.active().counter("n").inc()
+            with metrics.collecting() as inner:
+                metrics.active().counter("n").inc(10)
+            metrics.active().counter("n").inc()
+        assert outer.counter("n").value == 2
+        assert inner.counter("n").value == 10
+
+    def test_sequential_collectors_do_not_share_state(self):
+        with metrics.collecting() as first:
+            metrics.active().counter("n").inc(3)
+        with metrics.collecting() as second:
+            metrics.active().counter("n").inc(4)
+        assert first.counter("n").value == 3
+        assert second.counter("n").value == 4
+        assert first is not second
+
+    def test_out_of_order_exit_keeps_open_collector_active(self):
+        # Open A then B, close A first (LIFO violation): B must keep
+        # collecting, and closing B must turn collection fully off.
+        cm_a = metrics.collecting()
+        cm_a.__enter__()
+        cm_b = metrics.collecting()
+        reg_b = cm_b.__enter__()
+        cm_a.__exit__(None, None, None)
+        assert metrics.active() is reg_b
+        metrics.active().counter("n").inc(7)
+        cm_b.__exit__(None, None, None)
+        assert metrics.active() is None
+        assert reg_b.counter("n").value == 7
+
+    def test_out_of_order_exit_does_not_resurrect_closed_registry(self):
+        # The late exit of an interleaved collector must not reinstall
+        # anything — later runs record nowhere unless newly enabled.
+        cm_a = metrics.collecting()
+        reg_a = cm_a.__enter__()
+        cm_b = metrics.collecting()
+        cm_b.__enter__()
+        cm_a.__exit__(None, None, None)
+        cm_b.__exit__(None, None, None)
+        assert metrics.active() is None
+        with metrics.collecting() as fresh:
+            metrics.active().counter("n").inc()
+        assert metrics.active() is None
+        assert fresh.counter("n").value == 1
+        assert "n" not in reg_a
+
+    def test_enable_replaces_open_collectors(self):
+        cm = metrics.collecting()
+        cm.__enter__()
+        mine = MetricsRegistry()
+        try:
+            metrics.enable(mine)
+            assert metrics.active() is mine
+        finally:
+            metrics.disable()
+        cm.__exit__(None, None, None)  # stale exit: must be harmless
+        assert metrics.active() is None
+
+    def test_exception_inside_collector_still_removes_it(self):
+        with pytest.raises(RuntimeError):
+            with metrics.collecting():
+                raise RuntimeError("boom")
+        assert metrics.active() is None

@@ -122,6 +122,8 @@ class TestRegressDriver:
             "table6/LR",
             "fig10/k=2",
             "fig10/k=3",
+            "serve/keyswitch-r300-b8",
+            "serve/saturation-b8",
             "microntt/N4096-L8/reference",
             "microntt/N4096-L8/batched",
         ]

@@ -261,3 +261,119 @@ class TestOperationHelpers:
         op = FheOp.make(FheOpName.PMULT, N, 8)
         with pytest.raises(SchedulingError):
             sim.sustained_throughput(op, batch=0)
+
+class TestWarmEngine:
+    """Incremental admission on a live ScheduleEngine: the substrate
+    of the open-system serving layer (repro.serve)."""
+
+    def _engine(self):
+        from repro.sim.engine import ScheduleEngine
+
+        return ScheduleEngine()
+
+    def test_release_time_delays_start(self):
+        engine = self._engine()
+        engine.submit([simple_task(OperatorKind.MA)], release=0.5)
+        engine.drain()
+        record = engine.result().task_records[0]
+        assert record.start >= 0.5
+
+    def test_matches_cold_run_when_submitted_at_zero(self):
+        ops = [
+            FheOp.make(FheOpName.CMULT, N, 10, aux_limbs=3),
+            FheOp.make(FheOpName.ROTATION, N, 10, aux_limbs=3),
+        ]
+        program = compile_trace(ops)
+        cold = PoseidonSimulator().run(program)
+        engine = self._engine()
+        engine.submit(program.tasks)
+        engine.drain()
+        warm = engine.result()
+        assert warm.total_seconds == cold.total_seconds
+        assert [r.start for r in warm.task_records] == [
+            r.start for r in cold.task_records
+        ]
+
+    def test_late_submission_overlaps_inflight_work(self):
+        engine = self._engine()
+        first = engine.submit(
+            [simple_task(OperatorKind.NTT, elements=64 * N)]
+        )
+        # Admit MA work mid-flight: different core array, so it should
+        # run concurrently with the still-executing NTT task.
+        engine.advance_until(0.0)
+        second = engine.submit([simple_task(OperatorKind.MA)], release=0.0)
+        engine.drain()
+        result = engine.result()
+        ntt, ma = result.task_records
+        assert ma.start < ntt.end
+        assert first.done and second.done
+        assert first.finish_seconds == ntt.end
+        assert second.finish_seconds == ma.end
+
+    def test_submitting_in_the_past_rejected(self):
+        engine = self._engine()
+        engine.submit([simple_task(OperatorKind.MA)])
+        engine.drain()
+        now = engine.result().total_seconds
+        with pytest.raises(SchedulingError, match="past"):
+            engine.submit([simple_task(OperatorKind.MA)],
+                          release=now - 1e-6)
+
+    def test_dependencies_are_submission_local(self):
+        engine = self._engine()
+        engine.submit([simple_task(OperatorKind.MA)])
+        # deps index into *this* submission's task list; dep 0 here is
+        # the second submission's own first task, not the earlier one.
+        engine.submit([
+            simple_task(OperatorKind.MA),
+            simple_task(OperatorKind.NTT, deps=(0,)),
+        ])
+        engine.drain()
+        records = engine.result().task_records
+        assert records[2].start >= records[1].end
+
+    def test_forward_dependency_rejected_at_submit(self):
+        engine = self._engine()
+        with pytest.raises(SchedulingError, match="dependency"):
+            engine.submit([simple_task(OperatorKind.MA, deps=(1,)),
+                           simple_task(OperatorKind.MA)])
+
+    def test_result_before_drain_rejected(self):
+        engine = self._engine()
+        engine.submit([simple_task(OperatorKind.MA)])
+        with pytest.raises(SchedulingError, match="drain"):
+            engine.result()
+
+    def test_completions_record_finish_order(self):
+        engine = self._engine()
+        slow = engine.submit(
+            [simple_task(OperatorKind.NTT, elements=64 * N)], label="slow"
+        )
+        fast = engine.submit([simple_task(OperatorKind.MA)], label="fast")
+        engine.drain()
+        assert [s.label for s in engine.completions] == ["fast", "slow"]
+        assert fast.finish_seconds < slow.finish_seconds
+
+    def test_empty_submission_completes_at_release(self):
+        engine = self._engine()
+        sub = engine.submit([], release=0.25)
+        assert sub.done
+        assert sub.finish_seconds == 0.25
+
+    def test_as_program_merges_submissions_for_validation(self):
+        from repro.sim.validate import validate_schedule
+
+        engine = self._engine()
+        engine.submit([simple_task(OperatorKind.MA)])
+        engine.submit([simple_task(OperatorKind.MM),
+                       simple_task(OperatorKind.NTT, deps=(0,))],
+                      release=0.001)
+        engine.drain()
+        merged = engine.as_program()
+        assert len(merged.tasks) == 3
+        assert len(merged.op_boundaries) == 2
+        # Global indices: the second submission's dep was re-based.
+        assert merged.tasks[2].depends_on == (1,)
+        validate_schedule(engine.result(), program=merged,
+                         config=engine.config)

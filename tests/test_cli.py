@@ -1,13 +1,16 @@
 """Unit tests for the CLI (light targets only; heavy ones are benches)."""
 
+import json
+
 import pytest
 
+from repro import kernels
 from repro.cli import build_parser, main
 
 
 class TestParser:
-    def test_defaults(self):
-        args = build_parser().parse_args(["table1"])
+    def test_hw_defaults(self):
+        args = build_parser().parse_args(["table4"])
         assert args.lanes == 512
         assert not args.naive_auto
 
@@ -19,6 +22,53 @@ class TestParser:
         args = build_parser().parse_args(["fig10", "--radix", "2", "3"])
         assert args.radix == [2, 3]
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workload == "keyswitch"
+        assert args.arrival_rate == 100.0
+        assert args.max_batch == 8
+        assert args.policy == "fifo"
+        assert args.seed == 0
+
+
+class TestFlagScoping:
+    """Regression: the old single flat parser accepted every flag on
+    every command, so ``table9 --validate`` or ``fig7 --radix 4`` were
+    silently ignored instead of erroring. Each command now only parses
+    the flags it acts on."""
+
+    @pytest.mark.parametrize("argv", [
+        ["table9", "--validate"],          # obs flag on a table command
+        ["table1", "--benchmark", "lr"],   # obs flag on a table command
+        ["table1", "-o", "x.json"],        # obs flag on a table command
+        ["trace", "--radix", "4"],         # fig10 flag on an obs command
+        ["fig7", "--radix", "4"],          # fig10 flag elsewhere
+        ["table4", "--workload", "LR"],    # fig11 flag on a table
+        ["fig10", "--lanes", "128"],       # hw flag where hw is unused
+        ["table1", "--lanes", "128"],      # hw flag on a static table
+        ["serve", "--benchmark", "lr"],    # serve takes --workload
+        ["list", "--validate"],
+    ])
+    def test_out_of_scope_flag_errors(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["table4", "--lanes", "256"],
+        ["table6", "--naive-auto"],
+        ["fig10", "--radix", "2", "3"],
+        ["fig11", "--workload", "LR"],
+        ["trace", "--benchmark", "lr", "--validate", "-o", "t.json"],
+        ["metrics", "--benchmark", "lr", "-o", "m.json", "--lanes", "256"],
+        ["serve", "--arrival-rate", "50", "--max-batch", "4"],
+        ["table1", "--kernel-backend", "batched"],
+    ])
+    def test_documented_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
 
 class TestExecution:
     def test_list(self, capsys):
@@ -26,6 +76,7 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "table4" in out
         assert "fig10" in out
+        assert "serve" in out
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
@@ -58,10 +109,35 @@ class TestExecution:
         assert "Keyswitch" in out
 
 
+class TestKernelBackendScoping:
+    def test_backend_restored_after_dispatch(self, capsys):
+        """Regression: main() used to call kernels.set_backend(), a
+        process-global mutation that leaked into everything the caller
+        ran afterwards (tests, notebooks embedding the CLI). The
+        override must be scoped to the dispatched command."""
+        before = kernels.get_backend()
+        assert main(["table1", "--kernel-backend", "batched"]) == 0
+        assert kernels.get_backend() is before
+        capsys.readouterr()
+
+    def test_backend_restored_on_command_failure(self, capsys):
+        before = kernels.get_backend()
+        with pytest.raises(SystemExit):
+            main(["trace", "--benchmark", "nope",
+                  "--kernel-backend", "batched"])
+        assert kernels.get_backend() is before
+        capsys.readouterr()
+
+    def test_unknown_backend_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["table1", "--kernel-backend", "nope"]
+            )
+        capsys.readouterr()
+
+
 class TestObservability:
     def test_trace_writes_chrome_trace(self, tmp_path, capsys):
-        import json
-
         out = tmp_path / "trace.json"
         assert main([
             "trace", "--benchmark", "bootstrapping", "-o", str(out),
@@ -72,8 +148,6 @@ class TestObservability:
         assert "perfetto" in capsys.readouterr().out
 
     def test_metrics_writes_snapshot(self, tmp_path):
-        import json
-
         out = tmp_path / "metrics.json"
         assert main([
             "metrics", "--benchmark", "bootstrapping", "-o", str(out),
@@ -85,3 +159,58 @@ class TestObservability:
     def test_benchmark_alias_rejected_when_unknown(self):
         with pytest.raises(SystemExit, match="unknown benchmark"):
             main(["trace", "--benchmark", "nope"])
+
+
+class TestServe:
+    def test_serve_reports_and_validates(self, capsys):
+        assert main([
+            "serve", "--arrival-rate", "200", "--requests", "24",
+            "--seed", "0", "--validate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schedule invariants OK" in out
+        assert "throughput:" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "max queue depth:" in out
+
+    def test_serve_metrics_json_deterministic(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "serve", "--arrival-rate", "200", "--requests", "24",
+                "--seed", "3", "-o", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        doc = json.loads(paths[0].read_text())
+        assert doc["meta"]["requests_completed"] == 24
+        assert doc["metrics"]["serve.requests.completed"] == 24
+
+    def test_serve_trace_has_request_track(self, tmp_path, capsys):
+        out = tmp_path / "serve_trace.json"
+        assert main([
+            "serve", "--arrival-rate", "200", "--requests", "8",
+            "--trace", str(out),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "request" in cats
+        assert doc["otherData"]["serving"]["requests_completed"] == 8
+
+    def test_serve_unknown_workload_errors(self):
+        with pytest.raises(SystemExit, match="unknown request workload"):
+            main(["serve", "--workload", "nope"])
+
+    def test_serve_bad_policy_errors(self):
+        with pytest.raises(SystemExit, match="max_batch_size"):
+            main(["serve", "--max-batch", "0"])
+
+    def test_serve_arrival_trace_replay(self, tmp_path, capsys):
+        trace = tmp_path / "arrivals.json"
+        trace.write_text(json.dumps([0.0, 0.001, 0.002, 0.05]))
+        assert main([
+            "serve", "--arrival-trace", str(trace), "--validate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 arrived, 4 admitted" in out

@@ -18,7 +18,7 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 #: Examples cheap enough to execute end to end in the suite.
 RUNNABLE = ["hfauto_walkthrough.py", "private_statistics.py",
-            "batch_serving.py"]
+            "batch_serving.py", "open_system_serving.py"]
 
 
 def load_example(name: str):
@@ -47,6 +47,20 @@ def test_example_importable_with_main(name):
         f"{name} must define a main()"
     )
     assert module.__doc__, f"{name} must carry a module docstring"
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_has_exactly_one_main_guard(name):
+    """Regression: batch_serving.py once carried two copy-pasted
+    ``if __name__ == "__main__":`` blocks, so running it as a script
+    executed main() twice (doubling runtime and duplicating output).
+    Every example must run main() exactly once."""
+    source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+    guards = source.count('if __name__ == "__main__":')
+    assert guards == 1, (
+        f"{name} has {guards} __main__ guards; scripts must call "
+        "main() exactly once"
+    )
 
 
 @pytest.mark.parametrize("name", RUNNABLE)
