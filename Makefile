@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: test test-batched properties golden coverage bench bench-smoke \
-	regress serve-sweep lint examples tables quicktest all
+	regress serve-sweep fleet-sweep lint examples tables quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -21,12 +21,16 @@ properties:
 golden:
 	$(PYTHON) tests/golden/regenerate.py
 
-# Kernel-layer branch coverage with the CI floor (needs pytest-cov).
+# Kernel-layer and serving/engine coverage with the CI floors
+# (needs pytest-cov).
 coverage:
 	$(PYTHON) -m pytest -q tests/ntt tests/rns tests/kernels \
 		tests/golden tests/properties --hypothesis-profile=ci \
 		--cov=repro.ntt --cov=repro.rns --cov=repro.kernels \
 		--cov-report=term-missing --cov-fail-under=80
+	$(PYTHON) -m pytest -q tests/serve tests/sim \
+		--cov=repro.serve --cov=repro.sim \
+		--cov-report=term-missing --cov-fail-under=75
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -k "not bootstrap and not properties"
@@ -49,6 +53,11 @@ regress:
 serve-sweep:
 	$(PYTHON) benchmarks/bench_serving_sweep.py
 
+# Fleet scaling sweep: instance count x routing policy, with the
+# near-linear-scaling and affinity-beats-round-robin gates.
+fleet-sweep:
+	$(PYTHON) benchmarks/bench_fleet_scaling.py
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/private_statistics.py
@@ -56,6 +65,7 @@ examples:
 	$(PYTHON) examples/hfauto_walkthrough.py
 	$(PYTHON) examples/batch_serving.py
 	$(PYTHON) examples/open_system_serving.py
+	$(PYTHON) examples/fleet_serving.py
 	$(PYTHON) examples/accelerator_simulation.py
 
 tables:

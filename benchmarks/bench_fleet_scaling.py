@@ -1,0 +1,354 @@
+#!/usr/bin/env python
+"""Fleet scaling sweep: instance count x routing policy.
+
+Sweeps the cluster simulator over fleet sizes and dispatch policies on
+the keyswitch request mix with a skewed multi-tenant key-reuse trace,
+and gates the properties that make sharded serving worth building:
+
+- **near-linear scaling** — aggregate throughput under the
+  key-affinity policy at 4 instances must be at least ``0.8x`` linear
+  extrapolation from 1 instance. (It is in fact *super*-linear here:
+  four instances pool 4x the key-cache capacity, so partitioning the
+  key population raises the per-instance hit rate.)
+- **affinity pays** — key-affinity must deliver strictly more
+  aggregate throughput than round-robin at the largest fleet size.
+  The offered load sits between the fleet's all-hit and low-hit
+  capacity, so the router's hit rate decides whether the load is
+  sustainable at all.
+- **determinism** — re-running a point with the same seed must
+  reproduce the summary byte-for-byte.
+- **validity** — every instance's schedule passes every engine
+  invariant (``ClusterResult.validate``).
+
+The scenario models each key-set upload as a multi-key rotation bundle
+(4x the single switch-key set, ~2.3 GB — a few Galois keys plus the
+relinearization key), so a miss costs on the order of one request's
+service time and key movement is a first-order term.
+
+Usage::
+
+    python benchmarks/bench_fleet_scaling.py            # full sweep
+    python benchmarks/bench_fleet_scaling.py --smoke    # CI subset
+    python benchmarks/bench_fleet_scaling.py -o fleet.json \
+        --plot fleet.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.serve import (  # noqa: E402  (path bootstrap must come first)
+    KEY_SET_BYTES,
+    BatchPolicy,
+    ClusterPolicy,
+    ClusterSimulator,
+    PoissonArrivals,
+    TenantPopulation,
+)
+
+WORKLOAD = "keyswitch"
+SEED = 7
+
+#: Offered load per instance (req/s). Sits between the all-hit
+#: (~390 req/s) and the low-hit (~220 req/s) per-instance capacity, so
+#: routing quality decides whether the fleet keeps up.
+RATE_PER_INSTANCE = 240.0
+COUNT_PER_INSTANCE_FULL = 64
+COUNT_PER_INSTANCE_SMOKE = 40
+
+#: One key-set upload: a multi-key rotation bundle (relinearization
+#: key + a few Galois keys), 4x the single mix-shape switch-key set.
+KEY_UPLOAD_BYTES = 4 * KEY_SET_BYTES
+
+POPULATION = TenantPopulation(tenants=8, key_sets=16, skew=0.8)
+KEY_CACHE_CAPACITY = 4
+
+BATCH_POLICY = BatchPolicy(
+    max_batch_size=4,
+    max_queue_delay=0.0005,
+    max_inflight_batches=2,
+    max_queue_depth=12,
+)
+
+FLEET_SIZES_FULL = (1, 2, 4)
+FLEET_SIZES_SMOKE = (1, 4)
+ROUTERS_FULL = ("round-robin", "least-queue", "shortest-job",
+                "key-affinity")
+ROUTERS_SMOKE = ("round-robin", "key-affinity")
+
+SCALING_FLOOR = 0.8  # of linear, 1 -> 4 instances, key-affinity
+
+
+def sweep_point(router: str, instances: int, count_per: int) -> dict:
+    sim = ClusterSimulator(
+        policy=ClusterPolicy(
+            instances=instances,
+            router=router,
+            key_cache_capacity=KEY_CACHE_CAPACITY,
+            key_upload_bytes=KEY_UPLOAD_BYTES,
+        ),
+        batch_policy=BATCH_POLICY,
+    )
+    result = sim.run(
+        WORKLOAD,
+        PoissonArrivals(
+            rate=RATE_PER_INSTANCE * instances,
+            count=count_per * instances,
+            seed=SEED,
+        ),
+        seed=SEED,
+        population=POPULATION,
+    )
+    result.validate()
+    s = result.summary()
+    return {
+        "router": router,
+        "instances": instances,
+        "offered_rps": RATE_PER_INSTANCE * instances,
+        "throughput_rps": s["throughput_rps"],
+        "key_hit_rate": s["key_hit_rate"],
+        "rejected": s["requests_rejected"],
+        "p95_ms": s["latency_p95_seconds"] * 1e3,
+        "summary_json": json.dumps(s, sort_keys=True),
+    }
+
+
+def run_sweep(smoke: bool) -> list[dict]:
+    routers = ROUTERS_SMOKE if smoke else ROUTERS_FULL
+    sizes = FLEET_SIZES_SMOKE if smoke else FLEET_SIZES_FULL
+    count_per = (
+        COUNT_PER_INSTANCE_SMOKE if smoke else COUNT_PER_INSTANCE_FULL
+    )
+    points = []
+    print(f"{'router':>14} {'n':>3} {'offered':>9} {'delivered':>10} "
+          f"{'hit':>5} {'rej':>4} {'p95':>9}")
+    for router in routers:
+        for n in sizes:
+            p = sweep_point(router, n, count_per)
+            points.append(p)
+            print(f"{p['router']:>14} {p['instances']:3d} "
+                  f"{p['offered_rps']:7.0f}/s "
+                  f"{p['throughput_rps']:8.1f}/s "
+                  f"{p['key_hit_rate']:5.2f} {p['rejected']:4d} "
+                  f"{p['p95_ms']:7.2f}ms")
+    return points
+
+
+def check_sweep(points: list[dict], count_per: int) -> list[str]:
+    """The acceptance gates; returns a list of failures."""
+    failures = []
+    by = {(p["router"], p["instances"]): p for p in points}
+    n_max = max(p["instances"] for p in points)
+
+    # 1. Near-linear scaling under key-affinity.
+    aff_1 = by[("key-affinity", 1)]
+    aff_n = by[("key-affinity", n_max)]
+    linear = n_max * aff_1["throughput_rps"]
+    if aff_n["throughput_rps"] < SCALING_FLOOR * linear:
+        failures.append(
+            f"key-affinity scaling 1->{n_max} below {SCALING_FLOOR}x "
+            f"linear: {aff_n['throughput_rps']:.1f} req/s vs "
+            f"{linear:.1f} linear"
+        )
+
+    # 2. Key-affinity strictly beats round-robin at the largest fleet.
+    rr_n = by[("round-robin", n_max)]
+    if not aff_n["throughput_rps"] > rr_n["throughput_rps"]:
+        failures.append(
+            f"key-affinity does not beat round-robin at n={n_max}: "
+            f"{aff_n['throughput_rps']:.1f} vs "
+            f"{rr_n['throughput_rps']:.1f} req/s"
+        )
+    if not aff_n["key_hit_rate"] > rr_n["key_hit_rate"]:
+        failures.append(
+            f"key-affinity hit rate not above round-robin at n={n_max}: "
+            f"{aff_n['key_hit_rate']:.2f} vs {rr_n['key_hit_rate']:.2f}"
+        )
+
+    # 3. Determinism: replay one point, byte-identical summary.
+    replay = sweep_point("key-affinity", 1, count_per)
+    if replay["summary_json"] != aff_1["summary_json"]:
+        failures.append(
+            "non-deterministic: key-affinity n=1 summary differs "
+            "across identical runs"
+        )
+    return failures
+
+
+def render_plot(points: list[dict]) -> str:
+    """Hand-rolled SVG: throughput vs fleet size, one line per router,
+    plus the linear-from-affinity-n=1 reference. Deterministic output
+    (fixed float formatting, stable iteration order)."""
+    width, height, margin = 560, 360, 56
+    routers = sorted({p["router"] for p in points})
+    sizes = sorted({p["instances"] for p in points})
+    y_max = 1.15 * max(
+        max(p["throughput_rps"] for p in points),
+        max(sizes) * next(
+            p["throughput_rps"] for p in points
+            if p["router"] == "key-affinity" and p["instances"] == 1
+        ),
+    )
+
+    def sx(n: float) -> float:
+        span = max(sizes) - min(sizes) or 1
+        return margin + (width - 2 * margin) * (n - min(sizes)) / span
+
+    def sy(v: float) -> float:
+        return height - margin - (height - 2 * margin) * v / y_max
+
+    colors = {
+        "round-robin": "#888888",
+        "least-queue": "#5588cc",
+        "shortest-job": "#55aa77",
+        "key-affinity": "#cc5544",
+    }
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}"'
+        f' y2="{height - margin}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}" stroke="black"/>',
+        f'<text x="{width / 2:.1f}" y="{height - 12}" '
+        'text-anchor="middle" font-size="13">instances</text>',
+        f'<text x="14" y="{height / 2:.1f}" text-anchor="middle" '
+        f'font-size="13" transform="rotate(-90 14 {height / 2:.1f})">'
+        "throughput (req/s)</text>",
+    ]
+    for n in sizes:
+        parts.append(
+            f'<text x="{sx(n):.1f}" y="{height - margin + 18}" '
+            f'text-anchor="middle" font-size="12">{n}</text>'
+        )
+    aff_1 = next(
+        p["throughput_rps"] for p in points
+        if p["router"] == "key-affinity" and p["instances"] == 1
+    )
+    ref = " ".join(
+        f"{sx(n):.1f},{sy(n * aff_1):.1f}" for n in sizes
+    )
+    parts.append(
+        f'<polyline points="{ref}" fill="none" stroke="#bbbbbb" '
+        'stroke-dasharray="6,4"/>'
+    )
+    for i, router in enumerate(routers):
+        pts = sorted(
+            (p for p in points if p["router"] == router),
+            key=lambda p: p["instances"],
+        )
+        path = " ".join(
+            f"{sx(p['instances']):.1f},{sy(p['throughput_rps']):.1f}"
+            for p in pts
+        )
+        color = colors.get(router, "#333333")
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            'stroke-width="2"/>'
+        )
+        for p in pts:
+            parts.append(
+                f'<circle cx="{sx(p["instances"]):.1f}" '
+                f'cy="{sy(p["throughput_rps"]):.1f}" r="3.5" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{width - margin + 4}" '
+            f'y="{margin + 16 * i + 4}" font-size="11" '
+            f'fill="{color}" text-anchor="end">{router}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fleet scaling sweep: instances x routing policy.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-fast subset (2 routers, fleet sizes 1 and 4, "
+             "40 requests per instance)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="write the sweep points as JSON",
+    )
+    parser.add_argument(
+        "--plot", type=Path, default=None,
+        help="write a throughput-vs-instances SVG plot",
+    )
+    args = parser.parse_args(argv)
+
+    label = "smoke" if args.smoke else "full"
+    count_per = (
+        COUNT_PER_INSTANCE_SMOKE if args.smoke
+        else COUNT_PER_INSTANCE_FULL
+    )
+    print(
+        f"fleet scaling sweep ({label}): {WORKLOAD} mix, seed {SEED}, "
+        f"{POPULATION.tenants} tenants, {POPULATION.key_sets} key sets "
+        f"(skew {POPULATION.skew}), "
+        f"{KEY_UPLOAD_BYTES / 1e9:.2f} GB per key upload"
+    )
+    points = run_sweep(args.smoke)
+
+    if args.output is not None:
+        doc = {
+            "schema": 1,
+            "workload": WORKLOAD,
+            "seed": SEED,
+            "rate_per_instance": RATE_PER_INSTANCE,
+            "key_upload_bytes": KEY_UPLOAD_BYTES,
+            "key_cache_capacity": KEY_CACHE_CAPACITY,
+            "population": {
+                "tenants": POPULATION.tenants,
+                "key_sets": POPULATION.key_sets,
+                "skew": POPULATION.skew,
+            },
+            "points": [
+                {k: v for k, v in p.items() if k != "summary_json"}
+                for p in points
+            ],
+        }
+        args.output.write_text(
+            json.dumps(doc, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.output}")
+    if args.plot is not None:
+        args.plot.write_text(render_plot(points), encoding="utf-8")
+        print(f"wrote {args.plot}")
+
+    failures = check_sweep(points, count_per)
+    if failures:
+        print(f"\nFAIL: {len(failures)} gate(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    by = {(p["router"], p["instances"]): p for p in points}
+    n_max = max(p["instances"] for p in points)
+    aff_1 = by[("key-affinity", 1)]["throughput_rps"]
+    aff_n = by[("key-affinity", n_max)]["throughput_rps"]
+    rr_n = by[("round-robin", n_max)]["throughput_rps"]
+    print(
+        f"OK: key-affinity 1->{n_max} scales "
+        f"{aff_n / (n_max * aff_1):.2f}x linear "
+        f"({aff_1:.1f} -> {aff_n:.1f} req/s), beats round-robin "
+        f"({rr_n:.1f} req/s, +{100 * (aff_n / rr_n - 1):.0f}%); "
+        "all schedules validator-clean; deterministic"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

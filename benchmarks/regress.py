@@ -22,6 +22,8 @@ Runnable standalone from any cwd — no PYTHONPATH needed.
 from __future__ import annotations
 
 import argparse
+import os
+import subprocess
 import sys
 import time
 from datetime import date
@@ -287,6 +289,24 @@ def run_suite(smoke: bool) -> dict[str, dict]:
     return workloads
 
 
+def current_git_sha() -> str:
+    """The commit this report measures: ``GITHUB_SHA`` in CI, else the
+    local HEAD, else ``"unknown"`` (e.g. a source tarball)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
 def dump_artifacts(out_dir: Path, benchmark: str = "LR") -> None:
     """Write a trace + metrics pair for CI artifact upload."""
     from repro.compiler.program import compile_trace
@@ -337,6 +357,12 @@ def main(argv=None) -> int:
         help="directory for the BENCH_<date>.json report",
     )
     parser.add_argument(
+        "--out", type=Path, default=None,
+        help="exact report path, overriding the date-derived name "
+             "(CI uses this so repeated same-day runs cannot "
+             "overwrite each other's uploaded reports)",
+    )
+    parser.add_argument(
         "--artifacts", type=Path, default=None,
         help="also dump trace.json/metrics.json for CI upload",
     )
@@ -348,11 +374,16 @@ def main(argv=None) -> int:
     report_microntt_speedup(workloads)
     today = date.today().isoformat()
     report = make_baseline(workloads, created=today, label=label)
+    report["git_sha"] = current_git_sha()
 
-    args.out_dir.mkdir(parents=True, exist_ok=True)
-    report_path = args.out_dir / f"BENCH_{today}.json"
+    if args.out is not None:
+        report_path = args.out
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        report_path = args.out_dir / f"BENCH_{today}.json"
     save_baseline(report, report_path)
-    print(f"report: {report_path}")
+    print(f"report: {report_path} (git {report['git_sha'][:12]})")
 
     if args.artifacts is not None:
         dump_artifacts(args.artifacts)

@@ -49,6 +49,7 @@ from repro.analysis import (
     table12_fpga_comparison,
 )
 from repro.analysis.report import render_shares, render_table
+from repro.serve.router import ROUTER_POLICIES
 from repro.sim.config import HardwareConfig
 
 #: Canonical workload spellings for fig11/design.
@@ -279,16 +280,22 @@ def cmd_serve(args) -> None:
     from repro.errors import ParameterError
     from repro.obs import (
         collecting,
+        write_cluster_trace,
         write_metrics_json,
         write_serving_trace,
     )
     from repro.serve import (
+        AutoscalerPolicy,
         BatchPolicy,
+        ClusterPolicy,
+        ClusterSimulator,
         PoissonArrivals,
         ServingSimulator,
+        TenantPopulation,
         TraceArrivals,
     )
 
+    fleet = args.instances > 1 or args.autoscale_max is not None
     try:
         policy = BatchPolicy(
             max_batch_size=args.max_batch,
@@ -296,6 +303,25 @@ def cmd_serve(args) -> None:
             order=args.policy,
             max_queue_depth=args.max_queue_depth,
             max_inflight_batches=args.max_inflight,
+        )
+        if fleet:
+            autoscaler = None
+            if args.autoscale_max is not None:
+                autoscaler = AutoscalerPolicy(
+                    max_instances=args.autoscale_max
+                )
+            cluster_policy = ClusterPolicy(
+                instances=args.instances,
+                router=args.router,
+                key_cache_capacity=args.key_cache,
+                key_upload_bytes=args.key_bytes,
+                max_tenant_share=args.max_tenant_share,
+                autoscaler=autoscaler,
+            )
+        population = TenantPopulation(
+            tenants=args.tenants,
+            key_sets=args.key_sets,
+            skew=args.key_skew,
         )
     except ParameterError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -312,20 +338,35 @@ def cmd_serve(args) -> None:
             f"Poisson rate={args.arrival_rate}/s n={args.requests} "
             f"seed={args.seed}"
         )
-    simulator = ServingSimulator(_config_from_args(args), policy)
+    config = _config_from_args(args)
     with collecting() as registry:
         try:
-            result = simulator.run(
-                args.workload, arrivals, seed=args.seed
-            )
+            if fleet:
+                result = ClusterSimulator(
+                    config, cluster_policy, policy
+                ).run(
+                    args.workload, arrivals,
+                    seed=args.seed, population=population,
+                )
+            else:
+                result = ServingSimulator(config, policy).run(
+                    args.workload, arrivals, seed=args.seed
+                )
         except KeyError as exc:
             raise SystemExit(f"error: {exc.args[0]}") from None
     if args.validate:
         result.validate()
-        print(
-            f"schedule invariants OK ({result.admitted} requests, "
-            f"{len(result.program.tasks)} tasks)"
-        )
+        if fleet:
+            print(
+                "schedule invariants OK per instance "
+                f"({len(result.instances)} instances, "
+                f"{result.admitted} requests)"
+            )
+        else:
+            print(
+                f"schedule invariants OK ({result.admitted} requests, "
+                f"{len(result.program.tasks)} tasks)"
+            )
 
     s = result.summary()
     print(f"--- serving: {args.workload} | {arrival_desc} ---")
@@ -335,6 +376,19 @@ def cmd_serve(args) -> None:
         f"depth_bound={policy.max_queue_depth} "
         f"inflight<={policy.max_inflight_batches}"
     )
+    if fleet:
+        print(
+            f"fleet: {s['instances']} instances router={s['router']} "
+            f"key_cache={cluster_policy.key_cache_capacity} "
+            f"tenants={population.tenants} "
+            f"key_sets={population.key_sets} skew={population.skew}"
+        )
+        print(
+            f"keys: {s['key_hits']} hits / {s['key_misses']} misses "
+            f"(rate {s['key_hit_rate']:.2f}), "
+            f"{s['key_upload_bytes'] / 1e9:.2f} GB uploaded, "
+            f"{s['scale_events']} scale events"
+        )
     print(
         f"requests: {s['requests_arrived']} arrived, "
         f"{s['requests_admitted']} admitted, "
@@ -376,9 +430,14 @@ def cmd_serve(args) -> None:
         )
         print(f"wrote {args.output}: {len(doc['metrics'])} metrics")
     if args.trace_output is not None:
-        doc = write_serving_trace(
-            result, args.trace_output, label=args.workload
-        )
+        if fleet:
+            doc = write_cluster_trace(
+                result, args.trace_output, label=args.workload
+            )
+        else:
+            doc = write_serving_trace(
+                result, args.trace_output, label=args.workload
+            )
         print(
             f"wrote {args.trace_output}: {len(doc['traceEvents'])} "
             "events; open at https://ui.perfetto.dev"
@@ -512,9 +571,54 @@ def _add_serve_options(sub) -> None:
         help="batches allowed in flight concurrently (default 1)",
     )
     sub.add_argument(
+        "--instances", type=int, default=1,
+        help="accelerator instances behind the router; >1 switches to "
+             "the fleet simulator (default 1: single warm engine)",
+    )
+    sub.add_argument(
+        "--router", default="key-affinity",
+        choices=sorted(ROUTER_POLICIES),
+        help="fleet dispatch policy (default key-affinity)",
+    )
+    sub.add_argument(
+        "--key-cache", type=int, default=4, metavar="SETS",
+        help="rotation/relin key sets resident per instance (LRU); "
+             "0 disables caching, every request then uploads "
+             "(default 4)",
+    )
+    sub.add_argument(
+        "--key-bytes", type=int, default=None,
+        help="modeled key-set upload size in bytes (default: the "
+             "mix-shape switch-key size, ~569 MB)",
+    )
+    sub.add_argument(
+        "--tenants", type=int, default=1,
+        help="tenant population size for request labeling (default 1)",
+    )
+    sub.add_argument(
+        "--key-sets", type=int, default=1,
+        help="distinct rotation/relin key sets across the population "
+             "(default 1)",
+    )
+    sub.add_argument(
+        "--key-skew", type=float, default=0.0,
+        help="Zipf-like popularity skew of tenant/key-set draws; 0 is "
+             "uniform (default 0)",
+    )
+    sub.add_argument(
+        "--max-tenant-share", type=float, default=None,
+        help="fair admission: max fraction of an instance's queue one "
+             "tenant may hold (default: no cap)",
+    )
+    sub.add_argument(
+        "--autoscale-max", type=int, default=None,
+        help="enable autoscaling up to this many instances against "
+             "the queue-depth knee (default: fixed fleet)",
+    )
+    sub.add_argument(
         "--validate", action="store_true",
         help="check the merged served schedule against every engine "
-             "invariant before reporting",
+             "invariant before reporting (per instance in fleet mode)",
     )
     sub.add_argument(
         "-o", "--output", default=None,

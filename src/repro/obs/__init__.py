@@ -38,9 +38,12 @@ from repro.obs.regression import (
 from repro.obs.trace_export import (
     chrome_trace,
     chrome_trace_events,
+    cluster_chrome_trace,
+    cluster_trace_events,
     serving_chrome_trace,
     serving_trace_events,
     write_chrome_trace,
+    write_cluster_trace,
     write_metrics_json,
     write_serving_trace,
 )
@@ -54,6 +57,8 @@ __all__ = [
     "active",
     "chrome_trace",
     "chrome_trace_events",
+    "cluster_chrome_trace",
+    "cluster_trace_events",
     "collecting",
     "compare_baselines",
     "disable",
@@ -64,6 +69,7 @@ __all__ = [
     "serving_chrome_trace",
     "serving_trace_events",
     "write_chrome_trace",
+    "write_cluster_trace",
     "write_metrics_json",
     "write_serving_trace",
 ]

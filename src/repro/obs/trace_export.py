@@ -51,13 +51,23 @@ def _track_name(core: str, instance: int = 0) -> str:
     return core if instance == 0 else f"{core}#{instance}"
 
 
-def chrome_trace_events(result: "SimulationResult") -> list[dict]:
-    """The ``traceEvents`` list for one simulated run."""
+def chrome_trace_events(
+    result: "SimulationResult",
+    *,
+    pid: int = 0,
+    process_name: str = "poseidon-sim",
+) -> list[dict]:
+    """The ``traceEvents`` list for one simulated run.
+
+    ``pid``/``process_name`` place the run in its own Chrome-trace
+    process — the fleet exporter gives every accelerator instance one
+    process so its core/HBM tracks group visually.
+    """
     events: list[dict] = [
         {
-            "ph": "M", "pid": 0, "tid": 0,
+            "ph": "M", "pid": pid, "tid": 0,
             "name": "process_name",
-            "args": {"name": "poseidon-sim"},
+            "args": {"name": process_name},
         }
     ]
     tracks = sorted(
@@ -67,7 +77,7 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
     )
     for core, instance in tracks:
         events.append({
-            "ph": "M", "pid": 0, "tid": _track_id(core, instance),
+            "ph": "M", "pid": pid, "tid": _track_id(core, instance),
             "name": "thread_name",
             "args": {"name": _track_name(core, instance)},
         })
@@ -77,7 +87,7 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
         tid = _track_id(record.core, record.instance)
         events.append({
             "ph": "X",
-            "pid": 0,
+            "pid": pid,
             "tid": tid,
             "ts": record.start * _SECONDS_TO_US,
             "dur": (record.end - record.start) * _SECONDS_TO_US,
@@ -99,7 +109,7 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
             # Nested sub-slice marking the held-but-stalled tail.
             events.append({
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": tid,
                 "ts": (record.end - record.stall_seconds) * _SECONDS_TO_US,
                 "dur": record.stall_seconds * _SECONDS_TO_US,
@@ -110,7 +120,7 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
         if record.hbm_seconds > 0:
             events.append({
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": TRACK_IDS["HBM"],
                 "ts": record.hbm_start * _SECONDS_TO_US,
                 "dur": (record.hbm_end - record.hbm_start) * _SECONDS_TO_US,
@@ -125,7 +135,7 @@ def chrome_trace_events(result: "SimulationResult") -> list[dict]:
             hbm_cumulative += record.hbm_bytes
             events.append({
                 "ph": "C",
-                "pid": 0,
+                "pid": pid,
                 "ts": record.hbm_end * _SECONDS_TO_US,
                 "name": "hbm_bytes",
                 "args": {"cumulative": hbm_cumulative},
@@ -230,6 +240,124 @@ def serving_chrome_trace(serving, *, label: str = "") -> dict:
 def write_serving_trace(serving, path, *, label: str = "") -> dict:
     """Write a served run's Chrome-trace JSON; returns the document."""
     doc = serving_chrome_trace(serving, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+#: Chrome-trace pid of the fleet-level router/meta process (instances
+#: use their own index as pid, so this just needs to be out of range).
+CLUSTER_PID = 1000
+
+
+def cluster_trace_events(cluster) -> list[dict]:
+    """Trace events for a routed fleet run (see
+    :mod:`repro.serve.cluster`).
+
+    Every accelerator instance becomes its own Chrome-trace *process*
+    (``poseidon-i<N>``) holding its core/HBM tracks plus a per-instance
+    request track: async spans for admitted requests (``key_hit`` and
+    routing in ``args``) and instant markers for arrivals the router
+    sent there but admission rejected. A separate ``poseidon-router``
+    process carries the fleet-wide queue-depth counter and a marker per
+    autoscale event. Duck-types over
+    :class:`repro.serve.ClusterResult`.
+    """
+    events: list[dict] = []
+    for report in cluster.instances:
+        events.extend(chrome_trace_events(
+            report.sim,
+            pid=report.index,
+            process_name=f"poseidon-i{report.index}",
+        ))
+        events.append({
+            "ph": "M", "pid": report.index, "tid": TRACK_IDS["Requests"],
+            "name": "thread_name",
+            "args": {"name": "Requests"},
+        })
+    for rec in cluster.records:
+        tid = TRACK_IDS["Requests"]
+        if rec.rejected:
+            events.append({
+                "ph": "i", "pid": rec.instance, "tid": tid, "s": "t",
+                "ts": rec.arrival_seconds * _SECONDS_TO_US,
+                "name": (
+                    f"req{rec.request_id} rejected"
+                    f" ({rec.reject_reason})"
+                ),
+                "cat": "request",
+                "args": {
+                    "tenant": rec.tenant,
+                    "key_set": rec.key_set,
+                    "reject_reason": rec.reject_reason,
+                },
+            })
+            continue
+        if rec.admit_seconds is None or rec.finish_seconds is None:
+            continue
+        name = f"req{rec.request_id}:{rec.job}"
+        common = {
+            "pid": rec.instance, "tid": tid, "cat": "request",
+            "id": rec.request_id, "name": name,
+        }
+        events.append({
+            "ph": "b",
+            "ts": rec.admit_seconds * _SECONDS_TO_US,
+            "args": {
+                "arrival_seconds": rec.arrival_seconds,
+                "queue_wait_seconds": rec.queue_wait_seconds,
+                "batch_index": rec.batch_index,
+                "tenant": rec.tenant,
+                "key_set": rec.key_set,
+                "key_hit": rec.key_hit,
+            },
+            **common,
+        })
+        events.append({
+            "ph": "e",
+            "ts": rec.finish_seconds * _SECONDS_TO_US,
+            "args": {"latency_seconds": rec.latency_seconds},
+            **common,
+        })
+    events.append({
+        "ph": "M", "pid": CLUSTER_PID, "tid": 0,
+        "name": "process_name",
+        "args": {"name": "poseidon-router"},
+    })
+    for t, depth in cluster.queue_depth_series:
+        events.append({
+            "ph": "C", "pid": CLUSTER_PID,
+            "ts": t * _SECONDS_TO_US,
+            "name": "cluster_queue_depth",
+            "args": {"depth": depth},
+        })
+    for t, count in cluster.scale_events:
+        events.append({
+            "ph": "i", "pid": CLUSTER_PID, "tid": 0, "s": "p",
+            "ts": t * _SECONDS_TO_US,
+            "name": f"scale-out to {count} instances",
+            "cat": "autoscale",
+        })
+    return events
+
+
+def cluster_chrome_trace(cluster, *, label: str = "") -> dict:
+    """Chrome-trace document for a routed fleet run."""
+    return {
+        "traceEvents": cluster_trace_events(cluster),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "generator": "repro.obs.trace_export",
+            "cluster": cluster.summary(),
+        },
+    }
+
+
+def write_cluster_trace(cluster, path, *, label: str = "") -> dict:
+    """Write a fleet run's Chrome-trace JSON; returns the document."""
+    doc = cluster_chrome_trace(cluster, label=label)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")

@@ -6,7 +6,7 @@ faces an *open* system: requests arrive over time, queue, get batched,
 and leave — and the numbers that matter are latency percentiles under
 load, sustained throughput, and queue depth, not a single makespan.
 
-The subsystem has four parts:
+The subsystem's parts:
 
 - :mod:`repro.serve.arrivals` — deterministic-seeded arrival processes
   (Poisson and trace replay);
@@ -19,21 +19,44 @@ The subsystem has four parts:
 - :mod:`repro.serve.simulator` — the open-system loop itself: arrivals
   feed the batcher, admitted batches are submitted onto a warm
   :class:`repro.sim.engine.ScheduleEngine`, and per-request records
-  yield p50/p95/p99 latency, throughput and a queue-depth time series.
+  yield p50/p95/p99 latency, throughput and a queue-depth time series;
+- :mod:`repro.serve.router` — fleet dispatch policies (round-robin,
+  least-queue, shortest-expected-job, load-bounded key-affinity) and
+  the per-instance LRU :class:`KeyCache` of resident
+  rotation/relinearization key sets;
+- :mod:`repro.serve.cluster` — the routed *fleet*: N warm engines on
+  one master clock, modeled key-set uploads on cache misses,
+  per-tenant fair admission, and optional autoscaling against the
+  queue-depth knee.
 
 Results export through the existing :mod:`repro.obs` pipeline: a
-``serve.*`` metrics namespace and a serving track (request spans +
-queue-depth counter) in the Chrome trace. The ``serve`` CLI subcommand
-and ``benchmarks/bench_serving_sweep.py`` build on this.
+``serve.*`` (or ``cluster.*``) metrics namespace and request-level
+Chrome-trace tracks. The ``serve`` CLI subcommand (with
+``--instances``) and the ``benchmarks/bench_serving_sweep.py`` /
+``bench_fleet_scaling.py`` sweeps build on this.
 """
 
 from repro.serve.arrivals import PoissonArrivals, TraceArrivals
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.cluster import (
+    AutoscalerPolicy,
+    ClusterPolicy,
+    ClusterResult,
+    ClusterSimulator,
+    InstanceReport,
+)
 from repro.serve.requests import (
+    KEY_SET_BYTES,
     REQUEST_MIXES,
     RequestType,
+    TenantPopulation,
     request_type,
     resolve_request_mix,
+)
+from repro.serve.router import (
+    KeyCache,
+    ROUTER_POLICIES,
+    resolve_router,
 )
 from repro.serve.simulator import (
     RequestRecord,
@@ -42,14 +65,23 @@ from repro.serve.simulator import (
 )
 
 __all__ = [
+    "AutoscalerPolicy",
     "BatchPolicy",
+    "ClusterPolicy",
+    "ClusterResult",
+    "ClusterSimulator",
     "DynamicBatcher",
+    "InstanceReport",
+    "KEY_SET_BYTES",
+    "KeyCache",
     "PoissonArrivals",
     "REQUEST_MIXES",
+    "ROUTER_POLICIES",
     "RequestRecord",
     "RequestType",
     "ServingResult",
     "ServingSimulator",
+    "TenantPopulation",
     "TraceArrivals",
     "request_type",
     "resolve_request_mix",

@@ -105,6 +105,23 @@ class DynamicBatcher:
         self._queue.append(request)
         return True
 
+    def queued_estimate_seconds(self) -> float:
+        """Summed service estimates of every queued request.
+
+        The cluster router's shortest-expected-job and key-affinity
+        policies use this (plus the inflight estimate the cluster
+        tracks) as the instance's expected backlog.
+        """
+        return sum(r.service_estimate for r in self._queue)
+
+    def queued_count_for(self, tenant: str) -> int:
+        """How many queued requests belong to ``tenant``.
+
+        Per-tenant fair admission (cluster ``max_tenant_share``) caps
+        this count against the queue depth.
+        """
+        return sum(1 for r in self._queue if r.tenant == tenant)
+
     def oldest_arrival(self) -> float | None:
         """Arrival time of the longest-queued request, if any."""
         if not self._queue:

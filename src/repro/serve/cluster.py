@@ -1,0 +1,735 @@
+"""Fleet-scale serving: N Poseidon instances behind a request router.
+
+One :class:`~repro.serve.simulator.ServingSimulator` drives a single
+warm engine; a production deployment runs *many* accelerator instances
+behind a router. This module is that fleet, still fully deterministic
+per seed:
+
+- each instance is an independent warm
+  :class:`~repro.sim.engine.ScheduleEngine` with its own
+  :class:`~repro.serve.batcher.DynamicBatcher` queue and an LRU
+  :class:`~repro.serve.router.KeyCache` of resident
+  rotation/relinearization key sets;
+- a pluggable :mod:`router <repro.serve.router>` policy (round-robin,
+  least-queue, shortest-expected-job, key-affinity) assigns every
+  arrival to an instance;
+- a key-cache *miss* charges the modeled key-set upload to that
+  instance's HBM timeline — a ``KeyUpload`` task (pure off-chip
+  stream) prepended to the request's task chain, so the transfer
+  contends for real HBM channels and delays the request;
+- optional autoscaling activates standby instances against the
+  queue-depth knee (the signal ``bench_serving_sweep.py`` measures);
+- optional per-tenant fair admission caps any tenant's share of an
+  instance's queue on top of the batcher's depth backpressure.
+
+All instance engines advance on one master clock: every decision
+instant is the earliest of the next arrival, any instance's batcher
+deadline, and any instance's next engine event; every engine is then
+advanced to that instant. Each instance's schedule is validated
+independently via ``engine.as_program()`` +
+:func:`repro.sim.validate.validate_schedule`.
+
+``benchmarks/bench_fleet_scaling.py`` sweeps instance count x routing
+policy and gates near-linear aggregate throughput scaling until the
+router or key movement saturates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParameterError
+from repro.obs import metrics
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.requests import (
+    KEY_SET_BYTES,
+    RequestType,
+    TenantPopulation,
+    resolve_request_mix,
+)
+from repro.serve.router import KeyCache, InstanceView, resolve_router
+from repro.serve.simulator import (
+    Request,
+    RequestRecord,
+    RequestStats,
+    _Batch,
+)
+from repro.sim.config import HardwareConfig
+from repro.sim.engine import ScheduleEngine, SimulationResult
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Scale-out policy against the queue-depth knee.
+
+    When the mean queue depth per active instance exceeds
+    ``queue_high`` (the congestion signal of the serving sweep's knee
+    curve), one standby instance is activated, at most once per
+    ``cooldown_seconds``. Scale-down is deliberately absent: a drained
+    instance simply idles, which keeps completed schedules intact.
+
+    Attributes:
+        max_instances: hard ceiling on active instances.
+        queue_high: mean queued requests per active instance that
+            triggers a scale-out.
+        cooldown_seconds: minimum simulated time between scale-outs.
+    """
+
+    max_instances: int
+    queue_high: float = 4.0
+    cooldown_seconds: float = 0.002
+
+    def __post_init__(self):
+        if self.max_instances < 1:
+            raise ParameterError(
+                f"max_instances must be >= 1, got {self.max_instances}"
+            )
+        if self.queue_high <= 0:
+            raise ParameterError(
+                f"queue_high must be positive, got {self.queue_high}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ParameterError(
+                "cooldown_seconds must be >= 0, got "
+                f"{self.cooldown_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterPolicy:
+    """Fleet-level knobs (per-instance batching stays in
+    :class:`~repro.serve.batcher.BatchPolicy`).
+
+    Attributes:
+        instances: instances active from t=0.
+        router: dispatch policy name (see
+            :data:`repro.serve.router.ROUTER_POLICIES`).
+        key_cache_capacity: key sets resident per instance (LRU);
+            ``0`` disables caching (every request uploads), ``None``
+            is unbounded.
+        key_upload_bytes: modeled size of one key-set upload; ``None``
+            uses the mix-shape switch-key size
+            (:data:`repro.serve.requests.KEY_SET_BYTES`, ~569 MB).
+        max_tenant_share: fair admission — a tenant may hold at most
+            this fraction of an instance's queue (floor of one slot);
+            ``None`` disables the cap.
+        autoscaler: optional scale-out policy; its ``max_instances``
+            must be >= ``instances``.
+    """
+
+    instances: int = 2
+    router: str = "key-affinity"
+    key_cache_capacity: int | None = 4
+    key_upload_bytes: int | None = None
+    max_tenant_share: float | None = None
+    autoscaler: AutoscalerPolicy | None = None
+
+    def __post_init__(self):
+        if self.instances < 1:
+            raise ParameterError(
+                f"need at least one instance, got {self.instances}"
+            )
+        if self.key_upload_bytes is not None and self.key_upload_bytes < 0:
+            raise ParameterError(
+                "key_upload_bytes must be >= 0, got "
+                f"{self.key_upload_bytes}"
+            )
+        if self.max_tenant_share is not None and not (
+            0 < self.max_tenant_share <= 1
+        ):
+            raise ParameterError(
+                "max_tenant_share must be in (0, 1], got "
+                f"{self.max_tenant_share}"
+            )
+        if (
+            self.autoscaler is not None
+            and self.autoscaler.max_instances < self.instances
+        ):
+            raise ParameterError(
+                f"autoscaler max_instances {self.autoscaler.max_instances}"
+                f" < initial instances {self.instances}"
+            )
+
+    @property
+    def max_instances(self) -> int:
+        """Largest instance count this policy can reach."""
+        if self.autoscaler is None:
+            return self.instances
+        return self.autoscaler.max_instances
+
+    @property
+    def upload_bytes(self) -> int:
+        """Effective key-set upload size (default: mix-shape keys)."""
+        if self.key_upload_bytes is not None:
+            return self.key_upload_bytes
+        return KEY_SET_BYTES
+
+
+#: Label carried by modeled key-set uploads in schedules and traces.
+KEY_UPLOAD_LABEL = "KeyUpload"
+
+
+def _with_key_upload(
+    tasks, upload_bytes: int, key_set: int
+) -> list[OperatorTask]:
+    """Prepend a key-set upload to a request's task chain.
+
+    The upload is a pure off-chip stream (negligible compute on the MA
+    array) whose HBM traffic is the key-set size; every root task of
+    the request gains a dependency on it, so the request cannot start
+    until its keys are resident — and the transfer contends for the
+    instance's HBM channels against everything else in flight.
+    """
+    upload = OperatorTask(
+        kind=OperatorKind.MA,
+        elements=1,
+        degree=1,
+        limbs=1,
+        hbm_read_bytes=upload_bytes,
+        op_label=f"{KEY_UPLOAD_LABEL}:k{key_set}",
+    )
+    out = [upload]
+    for task in tasks:
+        shifted = task.shifted(1)
+        if not shifted.depends_on:
+            shifted = replace(shifted, depends_on=(0,))
+        out.append(shifted)
+    return out
+
+
+@dataclass
+class _Instance:
+    """Mutable state of one fleet member during a run."""
+
+    index: int
+    engine: ScheduleEngine
+    batcher: DynamicBatcher
+    cache: KeyCache
+    activated_seconds: float = 0.0
+    inflight: int = 0
+    inflight_estimate: float = 0.0
+    completion_ptr: int = 0
+    batches: int = 0
+    upload_bytes: int = 0
+    source_ops: list = field(default_factory=list)
+    by_submission: dict = field(default_factory=dict)
+
+    def view(self) -> InstanceView:
+        return InstanceView(
+            index=self.index,
+            queue_depth=self.batcher.depth,
+            inflight=self.inflight,
+            backlog_seconds=(
+                self.batcher.queued_estimate_seconds()
+                + self.inflight_estimate
+            ),
+            key_cache=self.cache,
+        )
+
+
+@dataclass
+class InstanceReport:
+    """Committed outcome of one instance after the run drains."""
+
+    index: int
+    sim: SimulationResult
+    program: object
+    activated_seconds: float
+    batches: int
+    admitted: int
+    completed: int
+    rejected: int
+    key_hits: int
+    key_misses: int
+    key_evictions: int
+    upload_bytes: int
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.sim.total_seconds
+
+
+class ClusterResult(RequestStats):
+    """Aggregate outcome of one routed fleet run."""
+
+    def __init__(
+        self,
+        *,
+        records: list[RequestRecord],
+        instances: list[InstanceReport],
+        queue_depth_series: list[tuple[float, int]],
+        scale_events: list[tuple[float, int]],
+        config: HardwareConfig,
+        policy: ClusterPolicy,
+        batch_policy: BatchPolicy,
+    ):
+        self.records = records
+        self.instances = instances
+        self.queue_depth_series = queue_depth_series
+        self.scale_events = scale_events
+        self.config = config
+        self.policy = policy
+        self.batch_policy = batch_policy
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Latest task end across the fleet (shared master clock)."""
+        return max(
+            (r.sim.total_seconds for r in self.instances), default=0.0
+        )
+
+    @property
+    def key_hits(self) -> int:
+        return sum(r.key_hits for r in self.instances)
+
+    @property
+    def key_misses(self) -> int:
+        return sum(r.key_misses for r in self.instances)
+
+    @property
+    def key_hit_rate(self) -> float:
+        looked = self.key_hits + self.key_misses
+        return self.key_hits / looked if looked else 0.0
+
+    @property
+    def upload_bytes(self) -> int:
+        return sum(r.upload_bytes for r in self.instances)
+
+    def rejected_by_instance(self) -> dict[int, int]:
+        """Rejection counts attributed to the routed instance."""
+        out: dict[int, int] = {r.index: 0 for r in self.instances}
+        for rec in self.records:
+            if rec.rejected:
+                out[rec.instance] = out.get(rec.instance, 0) + 1
+        return out
+
+    def summary(self) -> dict:
+        """Flat, JSON-ready headline numbers (deterministic)."""
+        ordered = self.latencies()
+        mean = sum(ordered) / len(ordered) if ordered else 0.0
+        return {
+            "instances": len(self.instances),
+            "router": self.policy.router,
+            "requests_arrived": self.arrived,
+            "requests_admitted": self.admitted,
+            "requests_rejected": self.rejected,
+            "requests_completed": self.completed,
+            "batches": sum(r.batches for r in self.instances),
+            "throughput_rps": self.throughput_rps,
+            "latency_mean_seconds": mean,
+            "latency_p50_seconds": self.latency_percentile(0.50),
+            "latency_p95_seconds": self.latency_percentile(0.95),
+            "latency_p99_seconds": self.latency_percentile(0.99),
+            "max_queue_depth": self.max_queue_depth,
+            "makespan_seconds": self.makespan_seconds,
+            "key_hits": self.key_hits,
+            "key_misses": self.key_misses,
+            "key_hit_rate": self.key_hit_rate,
+            "key_upload_bytes": self.upload_bytes,
+            "scale_events": len(self.scale_events),
+            "per_instance": [
+                {
+                    "instance": r.index,
+                    "activated_seconds": r.activated_seconds,
+                    "admitted": r.admitted,
+                    "completed": r.completed,
+                    "rejected": r.rejected,
+                    "batches": r.batches,
+                    "key_hits": r.key_hits,
+                    "key_misses": r.key_misses,
+                    "upload_bytes": r.upload_bytes,
+                    "makespan_seconds": r.sim.total_seconds,
+                }
+                for r in self.instances
+            ],
+        }
+
+    def validate(self) -> None:
+        """Check every instance's schedule against every engine
+        invariant (each instance is an independent accelerator)."""
+        from repro.sim.validate import validate_schedule
+
+        for report in self.instances:
+            validate_schedule(
+                report.sim,
+                program=report.program,
+                config=self.config,
+            )
+
+
+class ClusterSimulator:
+    """Open-system serving across a routed fleet of instances."""
+
+    def __init__(
+        self,
+        config: HardwareConfig | None = None,
+        policy: ClusterPolicy | None = None,
+        batch_policy: BatchPolicy | None = None,
+    ):
+        self.config = config or HardwareConfig()
+        self.policy = policy or ClusterPolicy()
+        self.batch_policy = batch_policy or BatchPolicy()
+        self._estimates: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def _service_estimate(
+        self, engine: ScheduleEngine, job: RequestType
+    ) -> float:
+        """Serial-execution estimate, cached per job type (identical
+        across instances — they share one hardware config)."""
+        est = self._estimates.get(job.name)
+        if est is None:
+            cfg = engine.config
+            est = sum(
+                max(
+                    engine.cores.task_cycles(t).cycles * cfg.cycle_seconds,
+                    engine.memory.task_timing(t).spad_seconds,
+                )
+                for t in job.program.tasks
+            )
+            self._estimates[job.name] = est
+        return est
+
+    def _fair_rejects(self, inst: _Instance, req: Request) -> bool:
+        """Whether fair admission turns this arrival away.
+
+        A tenant may hold at most ``max_tenant_share`` of the
+        instance's queue, with a floor of one slot so a lone tenant is
+        never locked out of an idle system.
+        """
+        share = self.policy.max_tenant_share
+        if share is None:
+            return False
+        queued = inst.batcher.queued_count_for(req.tenant)
+        cap = max(1, math.ceil(share * (inst.batcher.depth + 1)))
+        return queued + 1 > cap
+
+    def _launch(
+        self,
+        inst: _Instance,
+        now: float,
+        records: list[RequestRecord],
+        arrivals_pending: bool,
+    ) -> int:
+        """Launch every batch the instance's policy allows at ``now``;
+        returns how many batches launched."""
+        launched = 0
+        while inst.batcher.should_launch(
+            now, inst.inflight, arrivals_pending
+        ):
+            launched += 1
+            members = inst.batcher.take_batch(now)
+            batch = _Batch(
+                index=inst.batches,
+                admit_seconds=now,
+                size=len(members),
+                remaining=len(members),
+            )
+            inst.batches += 1
+            inst.inflight += 1
+            for req in members:
+                rec = records[req.request_id]
+                hit = inst.cache.admit(req.key_set)
+                tasks = req.job.program.tasks
+                if not hit:
+                    upload_bytes = self.policy.upload_bytes
+                    if upload_bytes:
+                        tasks = _with_key_upload(
+                            tasks, upload_bytes, req.key_set
+                        )
+                        inst.upload_bytes += upload_bytes
+                sub = inst.engine.submit(
+                    tasks,
+                    release=now,
+                    label=(
+                        f"req{req.request_id}:{req.job.name}"
+                        f"@i{inst.index}"
+                    ),
+                )
+                rec.admit_seconds = now
+                rec.batch_index = batch.index
+                rec.key_hit = hit
+                rec._base = sub.base
+                rec._count = sub.count
+                inst.inflight_estimate += req.service_estimate
+                inst.by_submission[sub.index] = (
+                    rec, batch, req.service_estimate
+                )
+                inst.source_ops.extend(req.job.program.source_ops)
+        return launched
+
+    def run(
+        self,
+        workloads: str | tuple[RequestType, ...],
+        arrivals,
+        *,
+        seed: int = 0,
+        population: TenantPopulation | None = None,
+    ) -> ClusterResult:
+        """Serve one arrival stream across the fleet to completion.
+
+        Args:
+            workloads: request-mix spec or pre-resolved job tuple, as
+                in :meth:`repro.serve.simulator.ServingSimulator.run`.
+            arrivals: an arrival process with a ``times()`` method.
+            seed: drives the job-type and tenant/key-set draws (the
+                same seed and stream as the single-instance simulator,
+                so job sequences match across fleet sizes).
+            population: tenant/key-set identity of the arrivals;
+                defaults to one tenant with one key set.
+        """
+        if isinstance(workloads, str):
+            jobs = resolve_request_mix(workloads)
+        else:
+            jobs = tuple(workloads)
+        if not jobs:
+            raise ParameterError("need at least one request job type")
+        population = population or TenantPopulation()
+        policy = self.policy
+        times = arrivals.times()
+        job_rng = random.Random(f"repro.serve.jobs:{seed}")
+        identities = population.draw(len(times), seed=seed)
+
+        instances: list[_Instance] = [
+            _Instance(
+                index=i,
+                engine=ScheduleEngine(self.config),
+                batcher=DynamicBatcher(self.batch_policy),
+                cache=KeyCache(policy.key_cache_capacity),
+            )
+            for i in range(policy.instances)
+        ]
+        # Bounded affinity: following a key is worth at most one
+        # key-upload of extra backlog on the holding instance.
+        router = resolve_router(
+            policy.router,
+            spill_seconds=(
+                policy.upload_bytes / self.config.hbm_bandwidth
+            ),
+        )
+
+        requests: list[Request] = []
+        records: list[RequestRecord] = []
+        for rid, t in enumerate(times):
+            job = jobs[0] if len(jobs) == 1 else job_rng.choice(jobs)
+            tenant, key_set = identities[rid]
+            requests.append(
+                Request(
+                    request_id=rid,
+                    job=job,
+                    arrival_seconds=t,
+                    service_estimate=self._service_estimate(
+                        instances[0].engine, job
+                    ),
+                    tenant=tenant,
+                    key_set=key_set,
+                )
+            )
+            records.append(
+                RequestRecord(
+                    request_id=rid,
+                    job=job.name,
+                    arrival_seconds=t,
+                    tenant=tenant,
+                    key_set=key_set,
+                )
+            )
+
+        depth_series: list[tuple[float, int]] = [(0.0, 0)]
+        scale_events: list[tuple[float, int]] = []
+        last_scale = 0.0
+        ai = 0
+        now = 0.0
+        n = len(requests)
+
+        def total_depth() -> int:
+            return sum(inst.batcher.depth for inst in instances)
+
+        while ai < n or any(
+            inst.batcher.depth or inst.inflight for inst in instances
+        ):
+            # Launch pass: every instance, in index order.
+            launched = 0
+            for inst in instances:
+                launched += self._launch(inst, now, records, ai < n)
+            if launched:
+                depth_series.append((now, total_depth()))
+
+            # Earliest decision instant across the whole fleet.
+            candidates = []
+            if ai < n:
+                candidates.append(requests[ai].arrival_seconds)
+            for inst in instances:
+                if (
+                    inst.batcher.depth
+                    and inst.inflight
+                    < self.batch_policy.max_inflight_batches
+                ):
+                    deadline = inst.batcher.next_deadline()
+                    if deadline is not None:
+                        candidates.append(deadline)
+                next_event = inst.engine.next_event_time()
+                if next_event is not None:
+                    candidates.append(next_event)
+            if not candidates:  # pragma: no cover - loop invariant
+                break
+            horizon = min(candidates)
+
+            # One master clock: every engine advances to the horizon.
+            for inst in instances:
+                inst.engine.advance_until(horizon)
+
+            # Completions release batch slots and backlog estimate.
+            for inst in instances:
+                while inst.completion_ptr < len(inst.engine.completions):
+                    sub = inst.engine.completions[inst.completion_ptr]
+                    inst.completion_ptr += 1
+                    rec, batch, estimate = inst.by_submission[sub.index]
+                    rec.finish_seconds = sub.finish_seconds
+                    inst.inflight_estimate -= estimate
+                    batch.remaining -= 1
+                    if batch.remaining == 0:
+                        inst.inflight -= 1
+
+            # Route arrivals at (or before) the horizon.
+            while ai < n and requests[ai].arrival_seconds <= horizon:
+                req = requests[ai]
+                ai += 1
+                views = [inst.view() for inst in instances]
+                target = router.route(views, req)
+                inst = instances[target]
+                rec = records[req.request_id]
+                rec.instance = target
+                if self._fair_rejects(inst, req):
+                    rec.rejected = True
+                    rec.reject_reason = "tenant-share"
+                elif not inst.batcher.offer(req):
+                    rec.rejected = True
+                    rec.reject_reason = "queue-full"
+                else:
+                    depth_series.append(
+                        (req.arrival_seconds, total_depth())
+                    )
+                # Scale out against the queue-depth knee.
+                scaler = policy.autoscaler
+                if (
+                    scaler is not None
+                    and len(instances) < scaler.max_instances
+                    and total_depth()
+                    > scaler.queue_high * len(instances)
+                    and (
+                        not scale_events
+                        or req.arrival_seconds - last_scale
+                        >= scaler.cooldown_seconds
+                    )
+                ):
+                    t_scale = max(now, req.arrival_seconds)
+                    instances.append(
+                        _Instance(
+                            index=len(instances),
+                            engine=ScheduleEngine(
+                                self.config, epoch=t_scale
+                            ),
+                            batcher=DynamicBatcher(self.batch_policy),
+                            cache=KeyCache(policy.key_cache_capacity),
+                            activated_seconds=t_scale,
+                        )
+                    )
+                    scale_events.append((t_scale, len(instances)))
+                    last_scale = t_scale
+            now = max(now, horizon)
+
+        reports: list[InstanceReport] = []
+        for inst in instances:
+            inst.engine.drain()
+            sim = inst.engine.result()
+            # Per-request start times: first dispatch among the
+            # request's tasks on this instance's schedule.
+            admitted = 0
+            completed = 0
+            for sub in inst.engine.submissions:
+                rec, _, _ = inst.by_submission[sub.index]
+                admitted += 1
+                if rec.finish_seconds is not None:
+                    completed += 1
+                if rec._base >= 0 and rec._count:
+                    rec.start_seconds = min(
+                        r.start
+                        for r in sim.task_records[
+                            rec._base:rec._base + rec._count
+                        ]
+                    )
+            reports.append(
+                InstanceReport(
+                    index=inst.index,
+                    sim=sim,
+                    program=inst.engine.as_program(inst.source_ops),
+                    activated_seconds=inst.activated_seconds,
+                    batches=inst.batches,
+                    admitted=admitted,
+                    completed=completed,
+                    rejected=sum(
+                        1 for r in records
+                        if r.rejected and r.instance == inst.index
+                    ),
+                    key_hits=inst.cache.hits,
+                    key_misses=inst.cache.misses,
+                    key_evictions=inst.cache.evictions,
+                    upload_bytes=inst.upload_bytes,
+                )
+            )
+
+        result = ClusterResult(
+            records=records,
+            instances=reports,
+            queue_depth_series=depth_series,
+            scale_events=scale_events,
+            config=self.config,
+            policy=policy,
+            batch_policy=self.batch_policy,
+        )
+        reg = metrics.active()
+        if reg is not None:
+            self._record_metrics(reg, result)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_metrics(reg, result: ClusterResult) -> None:
+        """Publish the fleet run under the ``cluster.*`` namespace."""
+        reg.gauge("cluster.instances").set(len(result.instances))
+        reg.counter("cluster.requests.arrived").inc(result.arrived)
+        reg.counter("cluster.requests.admitted").inc(result.admitted)
+        reg.counter("cluster.requests.rejected").inc(result.rejected)
+        reg.counter("cluster.requests.completed").inc(result.completed)
+        reg.counter("cluster.key_cache.hits").inc(result.key_hits)
+        reg.counter("cluster.key_cache.misses").inc(result.key_misses)
+        reg.counter("cluster.key_upload.bytes").inc(result.upload_bytes)
+        reg.counter("cluster.scale_events").inc(len(result.scale_events))
+        reg.gauge("cluster.throughput_rps").set(result.throughput_rps)
+        reg.gauge("cluster.queue_depth.max").set(result.max_queue_depth)
+        reg.gauge("cluster.makespan_seconds").set(result.makespan_seconds)
+        for q in (0.50, 0.95, 0.99):
+            reg.gauge(f"cluster.latency.p{int(q * 100)}_seconds").set(
+                result.latency_percentile(q)
+            )
+        latency_h = reg.histogram("cluster.request.latency_seconds")
+        for rec in result.records:
+            if rec.latency_seconds is not None:
+                latency_h.observe(rec.latency_seconds)
+        for report in result.instances:
+            prefix = f"cluster.instance.{report.index}"
+            reg.counter(f"{prefix}.admitted").inc(report.admitted)
+            reg.counter(f"{prefix}.completed").inc(report.completed)
+            reg.counter(f"{prefix}.rejected").inc(report.rejected)
+            reg.counter(f"{prefix}.key_hits").inc(report.key_hits)
+            reg.counter(f"{prefix}.key_misses").inc(report.key_misses)
+            reg.counter(f"{prefix}.upload_bytes").inc(
+                report.upload_bytes
+            )
+            reg.gauge(f"{prefix}.makespan_seconds").set(
+                report.sim.total_seconds
+            )

@@ -17,17 +17,35 @@ engine's index space at admission.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.compiler.ops import FheOp, FheOpName
 from repro.compiler.program import OperatorProgram, compile_trace
+from repro.errors import ParameterError
+from repro.sim.config import LIMB_BYTES
 
 #: Ring shape of the light request mixes (matches the batch-serving
 #: example: paper-scale degree, mid-depth level).
 MIX_DEGREE = 1 << 16
 MIX_LEVEL = 30
 MIX_AUX = 4
+
+#: Bytes of one tenant's switch-key set at the mix shape: ``chain``
+#: gadget pairs, each two polynomials over the extended (chain + aux)
+#: basis — the same arithmetic as
+#: :func:`repro.ckks.keysize.switch_key_bytes`, inlined so importing
+#: the serve layer never builds a parameter set. This is what a
+#: key-cache miss charges as an HBM upload (~569 MB at the mix shape:
+#: key movement is the fleet-scaling hazard).
+KEY_SET_BYTES = (
+    (MIX_LEVEL + 1)
+    * 2
+    * MIX_DEGREE
+    * (MIX_LEVEL + 1 + MIX_AUX)
+    * LIMB_BYTES
+)
 
 
 def _keyswitch_ops() -> list[FheOp]:
@@ -96,6 +114,61 @@ def request_type(name: str) -> RequestType:
         ) from None
     program = compile_trace(PAPER_BENCHMARKS[canonical]())
     return RequestType(name=canonical, program=program)
+
+
+@dataclass(frozen=True)
+class TenantPopulation:
+    """Who sends requests: tenant labels and key-set popularity.
+
+    Each arrived request carries a *tenant* label (fair-admission
+    accounting) and a *key-set* id (which rotation/relinearization
+    bundle its keyswitches stream). Key-set draws follow a Zipf-like
+    popularity curve — weight ``1 / rank^skew`` — because real key
+    reuse is skewed: a few hot tenants dominate traffic, which is
+    exactly when key-affinity routing pays.
+
+    ``skew=0`` is uniform. The default population is a single tenant
+    with a single key set, which reduces the cluster to pure
+    load-balancing (the first request per instance uploads, everything
+    after hits).
+    """
+
+    tenants: int = 1
+    key_sets: int = 1
+    skew: float = 0.0
+
+    def __post_init__(self):
+        if self.tenants < 1:
+            raise ParameterError(
+                f"need at least one tenant, got {self.tenants}"
+            )
+        if self.key_sets < 1:
+            raise ParameterError(
+                f"need at least one key set, got {self.key_sets}"
+            )
+        if self.skew < 0:
+            raise ParameterError(
+                f"popularity skew must be >= 0, got {self.skew}"
+            )
+
+    def draw(self, count: int, *, seed: int = 0) -> list[tuple[str, int]]:
+        """``count`` seeded ``(tenant, key_set)`` draws.
+
+        Tenants are drawn uniformly; key sets follow the skewed
+        popularity weights. A private RNG keyed on the seed keeps the
+        draw bit-stable and independent of every other RNG stream in
+        the served run.
+        """
+        rng = random.Random(f"repro.serve.population:{seed}")
+        weights = [
+            1.0 / (rank + 1) ** self.skew for rank in range(self.key_sets)
+        ]
+        out = []
+        for _ in range(count):
+            tenant = f"tenant{rng.randrange(self.tenants)}"
+            key_set = rng.choices(range(self.key_sets), weights)[0]
+            out.append((tenant, key_set))
+        return out
 
 
 def resolve_request_mix(spec: str) -> tuple[RequestType, ...]:

@@ -1,0 +1,224 @@
+"""Request routing and per-instance key caching for the cluster.
+
+The router decides, per arrival, which Poseidon instance a request is
+sent to. Its policies are pure functions of deterministic instance
+views (queue depth, inflight count, expected backlog seconds, key-cache
+contents), so a routed run is bit-reproducible per seed.
+
+Key movement is the scaling hazard the router exists to manage: hybrid
+keyswitching streams a tenant's rotation/relinearization key set from
+HBM, and a request landing on an instance that does not hold its key
+set pays a modeled key-upload transfer (hundreds of megabytes at
+paper-scale parameters — on the order of a whole request's service
+time). :class:`KeyCache` models each instance's resident key sets as an
+LRU, and the ``key-affinity`` policy steers requests toward instances
+already holding their keys, which is the difference between linear and
+sub-linear fleet scaling (see ``benchmarks/bench_fleet_scaling.py``).
+
+Routing *peeks* at caches but never mutates them; cache state advances
+only at admission time (:meth:`KeyCache.admit`), so the router stays a
+pure decision function.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ParameterError
+
+
+class KeyCache:
+    """LRU cache of the key-set ids resident in one instance's HBM.
+
+    Capacity counts key *sets* (one tenant's rotation + relinearization
+    bundle), not bytes: the serving layer charges a fixed upload size
+    per set, so set-count capacity and byte capacity coincide up to a
+    constant. ``capacity=0`` disables caching (every request uploads);
+    ``capacity=None`` is unbounded (a set uploads once, ever).
+    """
+
+    def __init__(self, capacity: int | None):
+        if capacity is not None and capacity < 0:
+            raise ParameterError(
+                f"key cache capacity must be >= 0 or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key_set: int) -> bool:
+        return key_set in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def resident(self) -> tuple[int, ...]:
+        """Resident key-set ids, least recently used first."""
+        return tuple(self._lru)
+
+    def admit(self, key_set: int) -> bool:
+        """Record a request's key use; ``True`` means the set was
+        already resident (hit — no upload charged).
+
+        On a miss the set is inserted, evicting the least recently used
+        resident when the capacity is exceeded. With ``capacity=0``
+        nothing is ever retained and every admit is a miss.
+        """
+        if key_set in self._lru:
+            self._lru.move_to_end(key_set)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self.capacity == 0:
+            return False
+        self._lru[key_set] = None
+        if self.capacity is not None and len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+        return False
+
+
+@dataclass
+class InstanceView:
+    """What the router may observe about one instance.
+
+    Attributes:
+        index: stable instance id (also the tie-break order).
+        queue_depth: requests waiting in the instance's batcher.
+        inflight: requests admitted to the engine, not yet finished.
+        backlog_seconds: summed service estimates of queued + inflight
+            requests (the shortest-expected-job key).
+        key_cache: the instance's resident key sets (peek only).
+    """
+
+    index: int
+    queue_depth: int
+    inflight: int
+    backlog_seconds: float
+    key_cache: KeyCache
+
+
+class Router(Protocol):  # pragma: no cover - typing only
+    """A dispatch policy: pick an instance index for a request."""
+
+    name: str
+
+    def route(self, views: list[InstanceView], request) -> int: ...
+
+
+class RoundRobinRouter:
+    """Cycle through instances in index order, ignoring state."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def route(self, views: list[InstanceView], request) -> int:
+        choice = views[self._next % len(views)].index
+        self._next = (self._next + 1) % len(views)
+        return choice
+
+
+class LeastQueueRouter:
+    """Send to the instance with the fewest waiting + inflight
+    requests; ties break toward the lowest index."""
+
+    name = "least-queue"
+
+    def route(self, views: list[InstanceView], request) -> int:
+        return min(
+            views, key=lambda v: (v.queue_depth + v.inflight, v.index)
+        ).index
+
+
+class ShortestExpectedJobRouter:
+    """Send to the instance with the least expected backlog seconds
+    (queued + inflight service estimates); ties break toward the
+    lowest index."""
+
+    name = "shortest-job"
+
+    def route(self, views: list[InstanceView], request) -> int:
+        return min(
+            views, key=lambda v: (v.backlog_seconds, v.index)
+        ).index
+
+
+class KeyAffinityRouter:
+    """Prefer instances already holding the request's key set —
+    bounded by load.
+
+    Among holders, pick the least-loaded (expected backlog); when no
+    instance holds the set, fall back to least backlog overall — the
+    upload then lands on the emptiest instance, which also seeds that
+    instance as the set's future affinity home.
+
+    Affinity is *bounded*: following the key is only worth one key
+    upload. When the best holder's backlog exceeds the fleet-wide
+    minimum by more than ``spill_seconds`` (the modeled upload time),
+    the request spills to the least-loaded instance instead — which
+    then caches the set, so a hot key set replicates across instances
+    exactly when its traffic deserves more than one home (the
+    consistent-hashing-with-bounded-loads idea, in time units).
+    """
+
+    name = "key-affinity"
+
+    def __init__(self, spill_seconds: float = 0.0):
+        if spill_seconds < 0:
+            raise ParameterError(
+                f"spill_seconds must be >= 0, got {spill_seconds}"
+            )
+        self.spill_seconds = spill_seconds
+
+    def route(self, views: list[InstanceView], request) -> int:
+        best = min(
+            views, key=lambda v: (v.backlog_seconds, v.index)
+        )
+        holders = [
+            v for v in views if request.key_set in v.key_cache
+        ]
+        if holders:
+            home = min(
+                holders, key=lambda v: (v.backlog_seconds, v.index)
+            )
+            if (
+                home.backlog_seconds
+                <= best.backlog_seconds + self.spill_seconds
+            ):
+                return home.index
+        return best.index
+
+
+#: Router policy registry (CLI ``--router`` choices).
+ROUTER_POLICIES = {
+    "round-robin": RoundRobinRouter,
+    "least-queue": LeastQueueRouter,
+    "shortest-job": ShortestExpectedJobRouter,
+    "key-affinity": KeyAffinityRouter,
+}
+
+
+def resolve_router(name: str, *, spill_seconds: float = 0.0):
+    """Instantiate a router policy by registry name.
+
+    ``spill_seconds`` parameterizes the bounded-affinity spill
+    threshold of ``key-affinity`` (the cluster passes its modeled
+    key-upload time); other policies ignore it.
+    """
+    try:
+        cls = ROUTER_POLICIES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown router policy {name!r}; expected one of "
+            f"{sorted(ROUTER_POLICIES)}"
+        ) from None
+    if cls is KeyAffinityRouter:
+        return cls(spill_seconds=spill_seconds)
+    return cls()

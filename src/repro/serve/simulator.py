@@ -38,12 +38,21 @@ from repro.sim.engine import (
 
 @dataclass(frozen=True)
 class Request:
-    """One arrived request: a job type at an arrival instant."""
+    """One arrived request: a job type at an arrival instant.
+
+    ``tenant`` and ``key_set`` identify who sent the request and which
+    rotation/relinearization key bundle its keyswitches stream — the
+    cluster layer (:mod:`repro.serve.cluster`) routes and
+    admission-controls on them; the single-instance simulator carries
+    the defaults untouched.
+    """
 
     request_id: int
     job: RequestType
     arrival_seconds: float
     service_estimate: float
+    tenant: str = "tenant0"
+    key_set: int = 0
 
 
 @dataclass
@@ -54,6 +63,14 @@ class RequestRecord:
     ``start_seconds`` is when the request's first task actually
     occupied a core (a batch admits all members at once, but the
     engine dispatches them as resources free up).
+
+    Cluster runs additionally fill ``instance`` (which Poseidon
+    instance served — or, for rejected requests, was routed — the
+    request), ``tenant``/``key_set`` identity, ``key_hit`` (whether
+    the key set was resident at admission; ``None`` until admitted),
+    and ``reject_reason`` (``"queue-full"`` backpressure vs
+    ``"tenant-share"`` fair-admission). Single-instance runs keep the
+    defaults.
     """
 
     request_id: int
@@ -64,6 +81,11 @@ class RequestRecord:
     finish_seconds: float | None = None
     batch_index: int | None = None
     rejected: bool = False
+    tenant: str = "tenant0"
+    key_set: int = 0
+    instance: int = 0
+    key_hit: bool | None = None
+    reject_reason: str | None = None
     _base: int = field(repr=False, default=-1)
     _count: int = field(repr=False, default=0)
 
@@ -90,29 +112,21 @@ class _Batch:
     remaining: int
 
 
-class ServingResult:
-    """Aggregate outcome of one served run."""
+class RequestStats:
+    """Request accounting shared by single-instance and cluster results.
 
-    def __init__(
-        self,
-        *,
-        records: list[RequestRecord],
-        sim: SimulationResult,
-        program,
-        queue_depth_series: list[tuple[float, int]],
-        batches: int,
-        config: HardwareConfig,
-        policy: BatchPolicy,
-    ):
-        self.records = records
-        self.sim = sim
-        self.program = program
-        self.queue_depth_series = queue_depth_series
-        self.batches = batches
-        self.config = config
-        self.policy = policy
+    Subclasses provide ``records`` (a :class:`RequestRecord` list),
+    ``queue_depth_series`` and ``makespan_seconds``; everything here is
+    derived from those.
+    """
 
-    # -- request accounting -------------------------------------------
+    records: list[RequestRecord]
+    queue_depth_series: list[tuple[float, int]]
+
+    @property
+    def makespan_seconds(self) -> float:
+        raise NotImplementedError
+
     @property
     def arrived(self) -> int:
         return len(self.records)
@@ -130,10 +144,6 @@ class ServingResult:
         return sum(
             1 for r in self.records if r.finish_seconds is not None
         )
-
-    @property
-    def makespan_seconds(self) -> float:
-        return self.sim.total_seconds
 
     @property
     def max_queue_depth(self) -> int:
@@ -165,6 +175,34 @@ class ServingResult:
             return 0.0
         idx = min(len(ordered) - 1, max(0, int(q * len(ordered))))
         return ordered[idx]
+
+
+class ServingResult(RequestStats):
+    """Aggregate outcome of one served run."""
+
+    def __init__(
+        self,
+        *,
+        records: list[RequestRecord],
+        sim: SimulationResult,
+        program,
+        queue_depth_series: list[tuple[float, int]],
+        batches: int,
+        config: HardwareConfig,
+        policy: BatchPolicy,
+    ):
+        self.records = records
+        self.sim = sim
+        self.program = program
+        self.queue_depth_series = queue_depth_series
+        self.batches = batches
+        self.config = config
+        self.policy = policy
+
+    # -- request accounting -------------------------------------------
+    @property
+    def makespan_seconds(self) -> float:
+        return self.sim.total_seconds
 
     def summary(self) -> dict:
         """Flat, JSON-ready headline numbers (deterministic)."""

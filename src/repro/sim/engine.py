@@ -237,7 +237,12 @@ class ScheduleEngine:
         *,
         cores: CoreModel | None = None,
         memory: MemoryModel | None = None,
+        epoch: float = 0.0,
     ):
+        if epoch < 0:
+            raise SchedulingError(
+                f"engine epoch must be >= 0, got {epoch}"
+            )
         self.config = config or HardwareConfig()
         self.cores = cores or CoreModel(self.config)
         self.memory = memory or MemoryModel(self.config)
@@ -256,7 +261,11 @@ class ScheduleEngine:
         self._hbm_queue: list[tuple[float, int]] = []
         self._hbm_intervals: list[tuple[float, float]] = []
         self._finished = 0
-        self._now = 0.0
+        # ``epoch`` lets an instance be born mid-run on a shared master
+        # clock (cluster autoscaling): the engine starts at that
+        # simulated time and rejects submissions from before it, just
+        # as if it had idled since t=0.
+        self._now = epoch
         # Per-task state, indexed by global task id (grows on submit).
         self._tasks: list = []
         self._timings: list = []

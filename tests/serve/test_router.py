@@ -1,0 +1,176 @@
+"""Unit tests for the fleet router policies and the per-instance
+key-set LRU cache (pure policy — no simulation involved)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve.router import (
+    InstanceView,
+    KeyAffinityRouter,
+    KeyCache,
+    LeastQueueRouter,
+    ROUTER_POLICIES,
+    RoundRobinRouter,
+    ShortestExpectedJobRouter,
+    resolve_router,
+)
+
+
+class FakeRequest:
+    def __init__(self, key_set=0):
+        self.key_set = key_set
+
+
+def view(index, *, queue=0, inflight=0, backlog=0.0, resident=()):
+    cache = KeyCache(capacity=None)
+    for key_set in resident:
+        cache.admit(key_set)
+    cache.hits = cache.misses = 0  # seeding is not a lookup
+    return InstanceView(
+        index=index,
+        queue_depth=queue,
+        inflight=inflight,
+        backlog_seconds=backlog,
+        key_cache=cache,
+    )
+
+
+class TestKeyCache:
+    def test_admit_miss_then_hit(self):
+        cache = KeyCache(capacity=2)
+        assert not cache.admit(1)
+        assert cache.admit(1)
+        assert cache.hits == 1 and cache.misses == 1
+        assert 1 in cache
+
+    def test_lru_eviction_order(self):
+        cache = KeyCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)  # refresh 1: now 2 is the LRU
+        cache.admit(3)  # evicts 2
+        assert cache.resident == (1, 3)
+        assert cache.evictions == 1
+        assert 2 not in cache
+
+    def test_capacity_zero_never_retains(self):
+        cache = KeyCache(capacity=0)
+        assert not cache.admit(1)
+        assert not cache.admit(1)
+        assert len(cache) == 0
+        assert cache.misses == 2 and cache.evictions == 0
+
+    def test_unbounded_capacity_never_evicts(self):
+        cache = KeyCache(capacity=None)
+        for key_set in range(50):
+            cache.admit(key_set)
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            KeyCache(capacity=-1)
+
+
+class TestRoundRobin:
+    def test_cycles_in_index_order(self):
+        router = RoundRobinRouter()
+        views = [view(0), view(1), view(2)]
+        picks = [router.route(views, FakeRequest()) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_ignores_load(self):
+        router = RoundRobinRouter()
+        views = [view(0, queue=100, backlog=9.0), view(1)]
+        assert router.route(views, FakeRequest()) == 0
+
+
+class TestLeastQueue:
+    def test_picks_fewest_waiting_plus_inflight(self):
+        router = LeastQueueRouter()
+        views = [
+            view(0, queue=2, inflight=1),
+            view(1, queue=1, inflight=1),
+            view(2, queue=3),
+        ]
+        assert router.route(views, FakeRequest()) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        router = LeastQueueRouter()
+        views = [view(0, queue=1), view(1, queue=1)]
+        assert router.route(views, FakeRequest()) == 0
+
+
+class TestShortestExpectedJob:
+    def test_picks_least_backlog(self):
+        router = ShortestExpectedJobRouter()
+        views = [
+            view(0, backlog=0.010),
+            view(1, backlog=0.002),
+            view(2, backlog=0.030),
+        ]
+        assert router.route(views, FakeRequest()) == 1
+
+
+class TestKeyAffinity:
+    def test_prefers_holder_over_emptier_instance(self):
+        router = KeyAffinityRouter(spill_seconds=0.005)
+        views = [
+            view(0, backlog=0.004, resident=(7,)),
+            view(1, backlog=0.0),
+        ]
+        assert router.route(views, FakeRequest(key_set=7)) == 0
+
+    def test_spills_when_holder_too_far_behind(self):
+        router = KeyAffinityRouter(spill_seconds=0.005)
+        views = [
+            view(0, backlog=0.020, resident=(7,)),
+            view(1, backlog=0.0),
+        ]
+        assert router.route(views, FakeRequest(key_set=7)) == 1
+
+    def test_least_loaded_holder_wins_among_holders(self):
+        router = KeyAffinityRouter(spill_seconds=1.0)
+        views = [
+            view(0, backlog=0.010, resident=(7,)),
+            view(1, backlog=0.004, resident=(7,)),
+            view(2, backlog=0.0),
+        ]
+        assert router.route(views, FakeRequest(key_set=7)) == 1
+
+    def test_no_holder_falls_back_to_least_backlog(self):
+        router = KeyAffinityRouter()
+        views = [
+            view(0, backlog=0.010, resident=(1,)),
+            view(1, backlog=0.002, resident=(2,)),
+        ]
+        assert router.route(views, FakeRequest(key_set=7)) == 1
+
+    def test_routing_does_not_mutate_caches(self):
+        router = KeyAffinityRouter()
+        views = [view(0, resident=(7,)), view(1)]
+        router.route(views, FakeRequest(key_set=7))
+        assert views[0].key_cache.hits == 0
+        assert views[0].key_cache.misses == 0
+
+    def test_negative_spill_rejected(self):
+        with pytest.raises(ParameterError):
+            KeyAffinityRouter(spill_seconds=-0.001)
+
+
+class TestRegistry:
+    def test_registry_names_match_router_names(self):
+        for name, cls in ROUTER_POLICIES.items():
+            assert cls.name == name
+
+    def test_resolve_each_policy(self):
+        for name in ROUTER_POLICIES:
+            assert resolve_router(name).name == name
+
+    def test_resolve_passes_spill_to_key_affinity(self):
+        router = resolve_router("key-affinity", spill_seconds=0.25)
+        assert router.spill_seconds == 0.25
+
+    def test_resolve_unknown_name_errors(self):
+        with pytest.raises(ParameterError, match="unknown router"):
+            resolve_router("coin-flip")

@@ -29,6 +29,32 @@ class TestParser:
         assert args.max_batch == 8
         assert args.policy == "fifo"
         assert args.seed == 0
+        assert args.instances == 1
+        assert args.router == "key-affinity"
+        assert args.key_cache == 4
+        assert args.autoscale_max is None
+
+    def test_serve_fleet_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--instances", "4", "--router", "round-robin",
+            "--key-cache", "2", "--key-bytes", "1000000",
+            "--tenants", "8", "--key-sets", "16", "--key-skew", "0.8",
+            "--max-tenant-share", "0.5", "--autoscale-max", "6",
+        ])
+        assert args.instances == 4
+        assert args.router == "round-robin"
+        assert args.key_cache == 2
+        assert args.key_bytes == 1000000
+        assert (args.tenants, args.key_sets) == (8, 16)
+        assert args.key_skew == 0.8
+        assert args.max_tenant_share == 0.5
+        assert args.autoscale_max == 6
+
+    def test_serve_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--router", "coin-flip"]
+            )
 
 
 class TestFlagScoping:
@@ -107,6 +133,29 @@ class TestExecution:
         assert main(["table4"]) == 0
         out = capsys.readouterr().out
         assert "Keyswitch" in out
+
+    def test_serve_fleet(self, capsys, tmp_path):
+        metrics = tmp_path / "fleet.json"
+        trace = tmp_path / "fleet-trace.json"
+        assert main([
+            "serve", "--workload", "keyswitch",
+            "--arrival-rate", "600", "--requests", "12",
+            "--instances", "2", "--router", "key-affinity",
+            "--key-cache", "2", "--tenants", "4", "--key-sets", "6",
+            "--key-skew", "0.8", "--validate",
+            "-o", str(metrics), "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 instances router=key-affinity" in out
+        assert "schedule invariants OK per instance" in out
+        doc = json.loads(metrics.read_text())
+        assert doc["metrics"]["cluster.instances"] == 2
+        tdoc = json.loads(trace.read_text())
+        names = {
+            e["args"]["name"] for e in tdoc["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert "poseidon-i1" in names
 
 
 class TestKernelBackendScoping:
