@@ -2,8 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: test test-batched properties golden coverage bench bench-smoke \
-	regress serve-sweep fleet-sweep lint examples tables quicktest all
+.PHONY: test test-batched test-numpy properties golden coverage bench \
+	bench-smoke regress serve-sweep fleet-sweep lint examples tables \
+	profile quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +13,11 @@ test:
 # end-to-end proof the backends are interchangeable.
 test-batched:
 	REPRO_KERNEL_BACKEND=batched $(PYTHON) -m pytest tests/ -x -q
+
+# And with the fully vectorized numpy backend (the third leg of the
+# backend matrix; also the only backend exact beyond 31-bit moduli).
+test-numpy:
+	REPRO_KERNEL_BACKEND=numpy $(PYTHON) -m pytest tests/ -x -q
 
 # Hypothesis suite under the derandomized CI profile.
 properties:
@@ -48,6 +54,11 @@ bench-smoke:
 # Full fixed suite vs the checked-in baseline (fails on >10% slowdown).
 regress:
 	$(PYTHON) benchmarks/regress.py
+
+# cProfile the event-driven engine under a heavy serve trace; use
+# --raw wall numbers for before/after scheduler comparisons.
+profile:
+	$(PYTHON) benchmarks/profile_engine.py --raw
 
 # Open-system load sweep: throughput-vs-p99 knee curve + shape checks.
 serve-sweep:

@@ -7,18 +7,22 @@ and the RNSconv cascade — through a *kernel backend*:
 - ``reference`` — the original per-limb code paths (the oracle).
 - ``batched``   — vectorized across all L limbs at once, the software
   analogue of Poseidon's limb-parallel lane pipeline.
+- ``numpy``     — fully vectorized uint64 butterflies (Shoup
+  multiplication + lazy reduction, 128-bit Barrett for wide moduli);
+  the fastest backend, with no Python-level per-element loops.
 
 Selection, in precedence order:
 
-1. explicit code: ``set_backend("batched")`` or
-   ``with use_backend("batched"): ...``;
+1. explicit code: ``set_backend("numpy")`` or
+   ``with use_backend("numpy"): ...``;
 2. the ``REPRO_KERNEL_BACKEND`` environment variable, read once at
-   first use;
+   first use (``reset_selection()`` forgets the cached choice);
 3. the default, ``reference``.
 
-Both backends are bit-identical on every operator (enforced by
-``tests/kernels/test_differential.py`` and the golden vectors under
-``tests/golden``), so any call site can run on either.
+All backends are bit-identical on every operator (enforced by
+``tests/kernels/test_differential.py``, the exhaustive big-int oracle
+suite in ``tests/kernels/test_exhaustive.py`` and the golden vectors
+under ``tests/golden``), so any call site can run on any of them.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.kernels.base import (
     get_batched_tables,
 )
 from repro.kernels.batched import BatchedBackend
+from repro.kernels.numpy_backend import NumpyBackend
 from repro.kernels.reference import ReferenceBackend
 
 #: Environment variable consulted on first use (see module docstring).
@@ -44,6 +49,7 @@ DEFAULT_BACKEND = "reference"
 _REGISTRY: dict[str, KernelBackend] = {
     ReferenceBackend.name: ReferenceBackend(),
     BatchedBackend.name: BatchedBackend(),
+    NumpyBackend.name: NumpyBackend(),
 }
 
 _active: KernelBackend | None = None
@@ -90,6 +96,17 @@ def set_backend(backend: str | KernelBackend) -> KernelBackend:
     return _active
 
 
+def reset_selection() -> None:
+    """Forget the process-wide backend choice.
+
+    The next :func:`get_backend` call re-reads ``REPRO_KERNEL_BACKEND``
+    (or falls back to the default). Tests use this to exercise the
+    environment-variable path without leaking state between cases.
+    """
+    global _active
+    _active = None
+
+
 @contextmanager
 def use_backend(backend: str | KernelBackend | None):
     """Scoped backend override; ``None`` keeps the current selection."""
@@ -111,10 +128,12 @@ __all__ = [
     "BatchedBackend",
     "BatchedTwiddleTable",
     "KernelBackend",
+    "NumpyBackend",
     "ReferenceBackend",
     "available_backends",
     "get_batched_tables",
     "get_backend",
+    "reset_selection",
     "resolve",
     "set_backend",
     "use_backend",

@@ -9,13 +9,16 @@ through :func:`repro.kernels.get_backend` and never touches a limb
 loop directly, so swapping the execution strategy is a one-line (or
 one-env-var) decision.
 
-Two implementations ship:
+Three implementations ship:
 
 - ``reference`` (:mod:`repro.kernels.reference`) — the original
   scalar/per-limb code paths, one numpy call per limb row.
 - ``batched`` (:mod:`repro.kernels.batched`) — vectorized across all
   ``L`` limbs at once with per-limb modulus broadcasting, mirroring
   how Poseidon's 512-lane pipeline consumes contiguous limb rows.
+- ``numpy`` (:mod:`repro.kernels.numpy_backend`) — fully vectorized
+  uint64 butterflies (Shoup multiplication, lazy reduction, branch-free
+  conditional subtracts) with a 128-bit Barrett path for wide moduli.
 
 Backends are required to be **bit-identical**: every operator computes
 an exact modular result (residues reduced into ``[0, q_i)``), so the
@@ -89,6 +92,22 @@ def check_matrix(data: np.ndarray, moduli) -> np.ndarray:
     return data
 
 
+@lru_cache(maxsize=4096)
+def _validate_moduli(name: str, max_bits: int, moduli: tuple[int, ...]) -> None:
+    """Reject moduli wider than a backend's exact-arithmetic range.
+
+    Successful validations are cached per (backend, basis); failures
+    re-raise on every call (``lru_cache`` does not cache exceptions).
+    """
+    for q in moduli:
+        bits = int(q).bit_length()
+        if bits > max_bits:
+            raise KernelError(
+                f"{name} kernel backend supports moduli up to {max_bits} "
+                f"bits; got {q} ({bits} bits)"
+            )
+
+
 class KernelBackend(abc.ABC):
     """Abstract kernel backend over (L, N) uint64 residue matrices.
 
@@ -97,8 +116,29 @@ class KernelBackend(abc.ABC):
     backend outputs unique and therefore bit-comparable.
     """
 
-    #: Registry/display name ("reference", "batched").
+    #: Registry/display name ("reference", "batched", "numpy").
     name: str = "abstract"
+
+    #: Widest modulus (in bits) this backend's arithmetic stays exact
+    #: for. Calls with wider moduli raise :class:`KernelError` up front
+    #: instead of silently overflowing uint64 intermediates.
+    max_modulus_bits: int = 31
+
+    # ------------------------------------------------------------------
+    # Capability / input validation
+    # ------------------------------------------------------------------
+    def check_moduli(self, moduli) -> None:
+        """Raise :class:`KernelError` if a modulus exceeds the backend cap."""
+        _validate_moduli(
+            self.name,
+            self.max_modulus_bits,
+            tuple(int(q) for q in moduli),
+        )
+
+    def _check(self, data: np.ndarray, moduli) -> np.ndarray:
+        """Combined matrix-shape + modulus-width validation."""
+        self.check_moduli(moduli)
+        return check_matrix(data, moduli)
 
     # ------------------------------------------------------------------
     # Observability

@@ -27,7 +27,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import KernelError
-from repro.kernels.base import KernelBackend, check_matrix, get_batched_tables
+from repro.kernels.base import KernelBackend, get_batched_tables
 
 
 @lru_cache(maxsize=256)
@@ -60,7 +60,7 @@ class BatchedBackend(KernelBackend):
     # NTT / INTT
     # ------------------------------------------------------------------
     def ntt(self, data, moduli, *, radix_log2: int = 1):
-        data = check_matrix(data, moduli)
+        data = self._check(data, moduli)
         self._count("ntt", data.size)
         tbl = get_batched_tables(tuple(moduli), data.shape[1])
         if radix_log2 >= 2:
@@ -68,7 +68,7 @@ class BatchedBackend(KernelBackend):
         return self._radix2_forward(data, tbl)
 
     def intt(self, data, moduli, *, radix_log2: int = 1):
-        data = check_matrix(data, moduli)
+        data = self._check(data, moduli)
         self._count("intt", data.size)
         tbl = get_batched_tables(tuple(moduli), data.shape[1])
         if radix_log2 >= 2:
@@ -188,36 +188,36 @@ class BatchedBackend(KernelBackend):
     # Element-wise modular operators
     # ------------------------------------------------------------------
     def mod_add(self, a, b, moduli):
-        a = check_matrix(a, moduli)
-        b = check_matrix(b, moduli)
+        a = self._check(a, moduli)
+        b = self._check(b, moduli)
         self._count("elementwise", a.size)
         qc = _barrett_columns(tuple(moduli))[0]
         s = a + b
         return np.where(s >= qc, s - qc, s)
 
     def mod_sub(self, a, b, moduli):
-        a = check_matrix(a, moduli)
-        b = check_matrix(b, moduli)
+        a = self._check(a, moduli)
+        b = self._check(b, moduli)
         self._count("elementwise", a.size)
         qc = _barrett_columns(tuple(moduli))[0]
         s = a + qc - b
         return np.where(s >= qc, s - qc, s)
 
     def mod_neg(self, a, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         qc = _barrett_columns(tuple(moduli))[0]
         return np.where(a == 0, np.uint64(0), qc - a)
 
     def mod_mul(self, a, b, moduli):
-        a = check_matrix(a, moduli)
-        b = check_matrix(b, moduli)
+        a = self._check(a, moduli)
+        b = self._check(b, moduli)
         self._count("elementwise", a.size)
         qc = _barrett_columns(tuple(moduli))[0]
         return (a * b) % qc
 
     def mod_scalar_mul(self, a, scalars, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         if len(scalars) != len(moduli):
             raise KernelError(
                 f"need {len(moduli)} scalars, got {len(scalars)}"
@@ -240,7 +240,7 @@ class BatchedBackend(KernelBackend):
         broadcast as columns (the shift counts differ between 30-bit
         chain and 31-bit aux primes, so they are arrays too).
         """
-        x = check_matrix(x, moduli)
+        x = self._check(x, moduli)
         self._count("barrett", x.size)
         q, u, lo, hi = _barrett_columns(tuple(moduli))
         q1 = x >> lo
@@ -252,6 +252,7 @@ class BatchedBackend(KernelBackend):
 
     def lift(self, row, moduli):
         row = np.asarray(row, dtype=np.uint64)
+        self.check_moduli(moduli)
         self._count("lift", row.size * len(moduli))
         qc = _barrett_columns(tuple(moduli))[0]
         return row[None, :] % qc
@@ -265,6 +266,7 @@ class BatchedBackend(KernelBackend):
         """
         y = np.asarray(y, dtype=np.uint64)
         table = np.asarray(table, dtype=np.uint64)
+        self.check_moduli(target_moduli)
         src_limbs, n = y.shape
         self._count("basis_convert", n * len(target_moduli))
         pc = _barrett_columns(tuple(target_moduli))[0]

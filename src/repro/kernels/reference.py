@@ -14,7 +14,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.kernels.base import KernelBackend, check_matrix
+from repro.kernels.base import KernelBackend
 from repro.ntt.fusion import FusedNtt
 from repro.ntt.radix2 import intt_radix2, ntt_radix2
 from repro.ntt.tables import get_twiddle_table
@@ -40,7 +40,7 @@ class ReferenceBackend(KernelBackend):
 
     # ------------------------------------------------------------------
     def ntt(self, data, moduli, *, radix_log2: int = 1):
-        data = check_matrix(data, moduli)
+        data = self._check(data, moduli)
         n = data.shape[1]
         self._count("ntt", data.size)
         if radix_log2 >= 2:
@@ -56,7 +56,7 @@ class ReferenceBackend(KernelBackend):
         return np.stack(rows)
 
     def intt(self, data, moduli, *, radix_log2: int = 1):
-        data = check_matrix(data, moduli)
+        data = self._check(data, moduli)
         n = data.shape[1]
         self._count("intt", data.size)
         if radix_log2 >= 2:
@@ -73,33 +73,33 @@ class ReferenceBackend(KernelBackend):
 
     # ------------------------------------------------------------------
     def mod_add(self, a, b, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         return np.stack(
             [mod_add(a[i], b[i], q) for i, q in enumerate(moduli)]
         )
 
     def mod_sub(self, a, b, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         return np.stack(
             [mod_sub(a[i], b[i], q) for i, q in enumerate(moduli)]
         )
 
     def mod_neg(self, a, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         return np.stack([mod_neg(a[i], q) for i, q in enumerate(moduli)])
 
     def mod_mul(self, a, b, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         return np.stack(
             [mod_mul(a[i], b[i], q) for i, q in enumerate(moduli)]
         )
 
     def mod_scalar_mul(self, a, scalars, moduli):
-        a = check_matrix(a, moduli)
+        a = self._check(a, moduli)
         self._count("elementwise", a.size)
         return np.stack(
             [
@@ -111,6 +111,7 @@ class ReferenceBackend(KernelBackend):
     # ------------------------------------------------------------------
     def barrett_reduce(self, x, moduli):
         x = np.asarray(x, dtype=np.uint64)
+        self.check_moduli(moduli)
         self._count("barrett", x.size)
         return np.stack(
             [
@@ -121,12 +122,14 @@ class ReferenceBackend(KernelBackend):
 
     def lift(self, row, moduli):
         row = np.asarray(row, dtype=np.uint64)
+        self.check_moduli(moduli)
         self._count("lift", row.size * len(moduli))
         return np.stack([row % np.uint64(q) for q in moduli])
 
     def basis_convert(self, y, table, target_moduli):
         y = np.asarray(y, dtype=np.uint64)
         table = np.asarray(table, dtype=np.uint64)
+        self.check_moduli(target_moduli)
         src_limbs, n = y.shape
         self._count("basis_convert", n * len(target_moduli))
         out = np.zeros((len(target_moduli), n), dtype=np.uint64)

@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # avoid a circular import; engine only needs the type
 CORE_NAMES = CORE_ARRAYS
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskRecord:
     """Scheduling outcome of one task.
 
@@ -255,6 +255,11 @@ class ScheduleEngine:
         }
         self._chan_free: list[float] = [0.0] * cfg.hbm_channels
         self._events: list[tuple[float, int, int]] = []
+        # Timestamps with a release event already queued. Releases are
+        # anonymous pass triggers (payload -1), so queueing the same
+        # instant twice only burns heap traffic — finalize/grant dedupe
+        # through this set, and _step clears an entry when it fires.
+        self._release_times: set[float] = set()
         self._core_queue: dict[str, list[tuple[float, int]]] = {
             name: [] for name in CORE_NAMES
         }
@@ -354,6 +359,12 @@ class ScheduleEngine:
         return submission
 
     # -- event processing ----------------------------------------------
+    def _push_release(self, t: float) -> None:
+        """Queue a release pass at ``t`` unless one is already queued."""
+        if t not in self._release_times:
+            self._release_times.add(t)
+            heapq.heappush(self._events, (t, _EV_RELEASE, -1))
+
     def _finalize(self, i: int) -> None:
         """Both dispatch and grant committed: the end is known."""
         task_end = max(self._start[i] + self._durations[i],
@@ -362,7 +373,7 @@ class ScheduleEngine:
         self._inst_free[self._timings[i].core][self._instance_of[i]] = (
             task_end
         )
-        heapq.heappush(self._events, (task_end, _EV_RELEASE, -1))
+        self._push_release(task_end)
         self._finished += 1
         owner = self._owner[i]
         if task_end > owner._max_end:
@@ -394,57 +405,72 @@ class ScheduleEngine:
         A transfer that does not fit is bypassed (no head-of-line
         blocking) and retried at the next release event.
         """
-        if not self._hbm_queue:
+        queue = self._hbm_queue
+        if not queue:
+            return
+        # One free-slot scan per pass, consumed incrementally: a grant
+        # always takes the lowest-index free slots, so deleting the
+        # granted prefix leaves exactly the slots a rescan would find.
+        chan_free = self._chan_free
+        free_slots = [s for s, free in enumerate(chan_free) if free <= t]
+        if not free_slots:
             return
         deferred = []
-        while self._hbm_queue:
-            entry = heapq.heappop(self._hbm_queue)
+        while queue and free_slots:
+            entry = heapq.heappop(queue)
             i = entry[1]
             need = self._mems[i].channels_used
-            free_slots = [
-                s for s, free in enumerate(self._chan_free) if free <= t
-            ]
-            if len(free_slots) < need:
+            if need > len(free_slots):
                 deferred.append(entry)
                 continue
             done = t + self._mems[i].hbm_seconds
             for s in free_slots[:need]:
-                self._chan_free[s] = done
+                chan_free[s] = done
+            del free_slots[:need]
             self._hbm_span[i] = (t, done)
             self._hbm_intervals.append((t, done))
-            heapq.heappush(self._events, (done, _EV_RELEASE, -1))
+            self._push_release(done)
             if self._start[i] is not None:
                 self._finalize(i)
         for entry in deferred:
-            heapq.heappush(self._hbm_queue, entry)
+            heapq.heappush(queue, entry)
 
     def _dispatch_pass(self, t: float) -> None:
         """Dispatch ready tasks onto free core instances."""
         for core in CORE_NAMES:
             queue = self._core_queue[core]
+            if not queue:
+                continue
+            # One free-instance scan per core per pass. A dispatched
+            # task can re-free its own instance at the same instant
+            # (zero-duration work), in which case the cursor stays put
+            # so the instance is reused — matching a fresh rescan.
             frees = self._inst_free[core]
-            while queue:
-                k = next(
-                    (j for j, f in enumerate(frees)
-                     if f is not None and f <= t),
-                    None,
-                )
-                if k is None:
-                    break
+            free_idx = [
+                j for j, f in enumerate(frees) if f is not None and f <= t
+            ]
+            cursor = 0
+            while queue and cursor < len(free_idx):
+                k = free_idx[cursor]
                 i = heapq.heappop(queue)[1]
                 self._start[i] = t
                 self._instance_of[i] = k
                 if self._hbm_span[i] is not None:
                     self._finalize(i)
+                    if self._inst_free[core][k] > t:
+                        cursor += 1
                 else:
                     # Core held; end unknown until the HBM grant.
                     frees[k] = None
+                    cursor += 1
 
     def _step(self) -> None:
         """Process exactly one event from the heap."""
         t, kind, payload = heapq.heappop(self._events)
         self._now = max(self._now, t)
-        if kind == _EV_READY:
+        if kind == _EV_RELEASE:
+            self._release_times.discard(t)
+        elif kind == _EV_READY:
             i = payload
             if self._mems[i].hbm_bytes > 0:
                 heapq.heappush(self._hbm_queue, (self._ready[i], i))

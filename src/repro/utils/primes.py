@@ -9,6 +9,7 @@ product of two residues fits comfortably in ``uint64``.
 from __future__ import annotations
 
 from functools import lru_cache
+from math import gcd
 
 from repro.errors import PrimeGenerationError
 
@@ -48,24 +49,77 @@ def is_prime(n: int) -> bool:
     return True
 
 
+def _pollard_rho(n: int) -> int:
+    """A non-trivial factor of composite odd ``n`` (Brent's variant).
+
+    Deterministic: cycles through fixed polynomial offsets ``c`` until a
+    factor splits off, so repeated runs factor identically. ``n`` must
+    be composite, odd and free of the small trial-division primes.
+    """
+    for c in range(1, 64):
+        y, m, g, r, q = 2, 128, 1, 1, 1
+        x = ys = y
+        while g == 1:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = gcd(q, n)
+                k += m
+            r <<= 1
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = gcd(abs(x - ys), n)
+        if g != n:
+            return g
+    raise PrimeGenerationError(f"pollard-rho failed to split {n}")
+
+
 def _factorize(n: int) -> list[int]:
-    """Return the distinct prime factors of ``n`` (trial division + MR)."""
+    """Return the distinct prime factors of ``n`` (trial division, then
+    Pollard rho for large cofactors — fast even for 62-bit moduli)."""
     factors: list[int] = []
     for p in _SMALL_PRIMES:
         if n % p == 0:
             factors.append(p)
             while n % p == 0:
                 n //= p
-    # Remaining cofactor: fall back to simple Pollard-rho style scan.
-    d = 101
-    while d * d <= n:
-        if n % d == 0:
-            factors.append(d)
-            while n % d == 0:
-                n //= d
-        d += 2
-    if n > 1:
-        factors.append(n)
+    # Trial division covers small cofactors cheaply; anything bigger is
+    # split recursively with Pollard rho (needed once moduli pass ~40
+    # bits, where a sqrt(n) scan stops terminating in bounded time).
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            if m not in factors:
+                factors.append(m)
+            continue
+        if m < 1 << 20:
+            d = 101
+            while d * d <= m:
+                if m % d == 0:
+                    stack.append(d)
+                    while m % d == 0:
+                        m //= d
+                    stack.append(m)
+                    break
+                d += 2
+            else:
+                if m > 1 and m not in factors:
+                    factors.append(m)
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
     return factors
 
 

@@ -18,7 +18,7 @@ def clean_selection():
 
 
 def test_registry_contents():
-    assert kernels.available_backends() == ("batched", "reference")
+    assert kernels.available_backends() == ("batched", "numpy", "reference")
     assert kernels.DEFAULT_BACKEND == "reference"
     for name in kernels.available_backends():
         backend = kernels.resolve(name)
@@ -26,6 +26,21 @@ def test_registry_contents():
         assert backend.name == name
         # The registry hands out singletons, not fresh instances.
         assert kernels.resolve(name) is backend
+
+
+def test_backend_capability_attributes():
+    """Every backend declares the modulus width its arithmetic is exact for."""
+    assert kernels.resolve("reference").max_modulus_bits == 31
+    assert kernels.resolve("batched").max_modulus_bits == 31
+    assert kernels.resolve("numpy").max_modulus_bits == 62
+
+
+def test_wide_moduli_rejected_by_narrow_backends():
+    data = np.zeros((1, 8), dtype=np.uint64)
+    wide = ((1 << 61) + 1,)  # width 62: beyond the 31-bit backends
+    for name in ("reference", "batched"):
+        with pytest.raises(KernelError, match="moduli up to 31 bits"):
+            kernels.resolve(name).ntt(data, wide)
 
 
 def test_resolve_unknown_name_raises_kernel_error():
@@ -54,9 +69,33 @@ def test_env_var_consulted_on_first_use(clean_selection, monkeypatch):
 
 def test_env_var_invalid_name_raises(clean_selection, monkeypatch):
     monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "fpga")
-    kernels._active = None
+    kernels.reset_selection()
     with pytest.raises(KernelError, match="names no kernel backend"):
         kernels.get_backend()
+
+
+def test_env_var_invalid_name_lists_valid_backends(clean_selection, monkeypatch):
+    """The first-use error names every registered backend, not a KeyError."""
+    monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "fpga")
+    kernels.reset_selection()
+    with pytest.raises(KernelError) as excinfo:
+        kernels.get_backend()
+    message = str(excinfo.value)
+    for name in kernels.available_backends():
+        assert name in message
+
+
+def test_reset_selection_rereads_environment(clean_selection, monkeypatch):
+    """reset_selection() drops the read-once cache (public test hook)."""
+    monkeypatch.delenv(kernels.BACKEND_ENV_VAR, raising=False)
+    kernels.reset_selection()
+    assert kernels.get_backend().name == kernels.DEFAULT_BACKEND
+    # A later env change is invisible until the cache is reset...
+    monkeypatch.setenv(kernels.BACKEND_ENV_VAR, "numpy")
+    assert kernels.get_backend().name == kernels.DEFAULT_BACKEND
+    # ...and picked up right after.
+    kernels.reset_selection()
+    assert kernels.get_backend().name == "numpy"
 
 
 def test_set_backend_overrides_env(clean_selection, monkeypatch):

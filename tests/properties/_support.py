@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
+from repro import kernels
 from repro.utils.primes import find_ntt_primes
 
 #: Largest ring degree the suite exercises. Any power-of-two degree
@@ -24,7 +25,25 @@ DEGREES = (16, 32, 64)
 PRIME_POOL_30 = tuple(find_ntt_primes(30, 4, MAX_DEGREE))
 PRIME_POOL_31 = tuple(find_ntt_primes(31, 2, MAX_DEGREE))
 
-BACKENDS = ("reference", "batched")
+#: Overflow-edge pool: primes just below 2^62, the widest moduli any
+#: backend supports. Naive uint64 Barrett (single-word mu, 2k-bit
+#: intermediates) breaks here — products reach 124 bits — so these
+#: exercise the 128-bit split-reduction path exclusively.
+PRIME_POOL_62 = tuple(find_ntt_primes(62, 2, MAX_DEGREE))
+
+#: Every registered backend; property tests parametrize over this so a
+#: newly-registered backend is covered without editing each test.
+BACKENDS = kernels.available_backends()
+
+
+def backends_supporting(moduli) -> tuple[str, ...]:
+    """Backend names whose exact-arithmetic range covers ``moduli``."""
+    widest = max(int(q).bit_length() for q in moduli)
+    return tuple(
+        name
+        for name in BACKENDS
+        if kernels.resolve(name).max_modulus_bits >= widest
+    )
 
 
 @st.composite
@@ -41,6 +60,20 @@ def rns_shapes(draw, max_limbs: int = 4):
 def residue_matrices(draw, max_limbs: int = 4):
     """Draw ``(data, moduli)`` with ``data`` a reduced (L, N) matrix."""
     moduli, degree = draw(rns_shapes(max_limbs=max_limbs))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    data = np.stack(
+        [rng.integers(0, q, degree, dtype=np.uint64) for q in moduli]
+    )
+    return data, moduli
+
+
+@st.composite
+def wide_residue_matrices(draw, max_limbs: int = 2):
+    """Draw ``(data, moduli)`` over the 62-bit overflow-edge pool."""
+    degree = draw(st.sampled_from(DEGREES[:2]))  # keep big-int oracles fast
+    limbs = draw(st.integers(min_value=1, max_value=max_limbs))
+    moduli = PRIME_POOL_62[:limbs]
     seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
     rng = np.random.default_rng(seed)
     data = np.stack(

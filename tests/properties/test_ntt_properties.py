@@ -18,8 +18,15 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import kernels
+from repro.errors import KernelError
 
-from ._support import BACKENDS, negacyclic_convolution, residue_matrices
+from ._support import (
+    BACKENDS,
+    backends_supporting,
+    negacyclic_convolution,
+    residue_matrices,
+    wide_residue_matrices,
+)
 
 FUSION_RADICES = (1, 2, 3)
 
@@ -75,17 +82,59 @@ def test_fused_radix_matches_radix2(backend_name, radix_log2, drawn):
 @pytest.mark.parametrize("radix_log2", FUSION_RADICES)
 @given(drawn=residue_matrices())
 def test_backends_bit_identical_on_transforms(radix_log2, drawn):
+    """Every registered backend matches the reference oracle exactly."""
     data, moduli = drawn
     ref = kernels.resolve("reference")
-    bat = kernels.resolve("batched")
-    np.testing.assert_array_equal(
-        ref.ntt(data, moduli, radix_log2=radix_log2),
-        bat.ntt(data, moduli, radix_log2=radix_log2),
+    want_fwd = ref.ntt(data, moduli, radix_log2=radix_log2)
+    want_inv = ref.intt(data, moduli, radix_log2=radix_log2)
+    for name in BACKENDS:
+        if name == "reference":
+            continue
+        other = kernels.resolve(name)
+        np.testing.assert_array_equal(
+            want_fwd, other.ntt(data, moduli, radix_log2=radix_log2)
+        )
+        np.testing.assert_array_equal(
+            want_inv, other.intt(data, moduli, radix_log2=radix_log2)
+        )
+
+
+@given(drawn=wide_residue_matrices(), seed=st.integers(0, 2**32 - 1))
+def test_overflow_edge_roundtrip_and_convolution(drawn, seed):
+    """Moduli near 2^62: products span 124 bits, where any single-word
+    uint64 Barrett shortcut silently corrupts. Capable backends must
+    still invert exactly and diagonalize the negacyclic ring."""
+    a, moduli = drawn
+    names = backends_supporting(moduli)
+    assert "numpy" in names  # the wide path must actually be exercised
+    rng = np.random.default_rng(seed)
+    b = np.stack(
+        [rng.integers(0, q, a.shape[1], dtype=np.uint64) for q in moduli]
     )
-    np.testing.assert_array_equal(
-        ref.intt(data, moduli, radix_log2=radix_log2),
-        bat.intt(data, moduli, radix_log2=radix_log2),
-    )
+    for name in names:
+        backend = kernels.resolve(name)
+        fwd = backend.ntt(a, moduli)
+        np.testing.assert_array_equal(backend.intt(fwd, moduli), a)
+        got = backend.intt(
+            backend.mod_mul(fwd, backend.ntt(b, moduli), moduli), moduli
+        )
+        for i, q in enumerate(moduli):
+            expected = negacyclic_convolution(a[i], b[i], q)
+            np.testing.assert_array_equal(
+                got[i], np.array(expected, np.uint64)
+            )
+
+
+@given(drawn=wide_residue_matrices())
+def test_overflow_edge_rejected_by_narrow_backends(drawn):
+    """Backends without a wide path must refuse, not corrupt."""
+    data, moduli = drawn
+    capable = set(backends_supporting(moduli))
+    for name in BACKENDS:
+        if name in capable:
+            continue
+        with pytest.raises(KernelError):
+            kernels.resolve(name).ntt(data, moduli)
 
 
 @pytest.mark.parametrize("backend_name", BACKENDS)
