@@ -57,6 +57,13 @@ TABLE4_SMOKE = ("PMult", "Keyswitch")
 TABLE6_FULL = ("LR", "LSTM", "ResNet-20", "Packed Bootstrapping")
 TABLE6_SMOKE = ("LR",)
 
+#: Same workloads compiled through the default compiler pass pipeline
+#: (``--passes default``); gates the *optimized* makespans so a pass
+#: regression can't hide behind an unchanged no-pass baseline. The
+#: smoke subset keeps one pipelined entry in every CI run.
+TABLE6_PASSES_FULL = TABLE6_FULL
+TABLE6_PASSES_SMOKE = ("LR", "Packed Bootstrapping")
+
 FIG10_FULL = (2, 3, 4, 5, 6)
 FIG10_SMOKE = (2, 3)
 
@@ -117,13 +124,13 @@ def _table4_seconds(op_name: str) -> float:
     return sim.operation_seconds(op)
 
 
-def _table6_seconds(bench: str) -> float:
+def _table6_seconds(bench: str, passes: str | None = None) -> float:
     from repro.compiler.program import compile_trace
     from repro.sim.engine import PoseidonSimulator
     from repro.sim.validate import validate_schedule
     from repro.workloads import PAPER_BENCHMARKS
 
-    program = compile_trace(PAPER_BENCHMARKS[bench]())
+    program = compile_trace(PAPER_BENCHMARKS[bench](), passes=passes)
     simulator = PoseidonSimulator()
     result = simulator.run(program)
     # Every measured schedule self-checks its invariants (no overlap,
@@ -298,6 +305,12 @@ def build_suite(smoke: bool) -> list[tuple[str, object]]:
     for bench in benches:
         suite.append(
             (f"table6/{bench}", lambda bench=bench: _table6_seconds(bench))
+        )
+    piped = TABLE6_PASSES_SMOKE if smoke else TABLE6_PASSES_FULL
+    for bench in piped:
+        suite.append(
+            (f"table6-passes/{bench}",
+             lambda bench=bench: _table6_seconds(bench, passes="default"))
         )
     for k in radices:
         suite.append((f"fig10/k={k}", lambda k=k: _fig10_seconds(k)))

@@ -216,6 +216,7 @@ def _simulate_benchmark(args):
     active while it ran.
     """
     from repro.compiler.program import compile_trace
+    from repro.errors import WorkloadError
     from repro.obs import collecting
     from repro.sim.engine import PoseidonSimulator
     from repro.workloads import PAPER_BENCHMARKS, resolve_benchmark
@@ -224,9 +225,17 @@ def _simulate_benchmark(args):
         name = resolve_benchmark(args.benchmark)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}") from None
-    program = compile_trace(PAPER_BENCHMARKS[name]())
     simulator = PoseidonSimulator(_config_from_args(args))
+    # Compile inside the collection scope so the compiler.* counters
+    # (per-pass stats, lowering-cache hits/misses) land in the
+    # snapshot alongside the sim.* ones.
     with collecting() as registry:
+        try:
+            program = compile_trace(
+                PAPER_BENCHMARKS[name](), passes=args.passes
+            )
+        except WorkloadError as exc:
+            raise SystemExit(f"error: {exc}") from None
         result = simulator.run(program)
     if getattr(args, "validate", False):
         from repro.sim.validate import validate_schedule
@@ -277,7 +286,7 @@ def cmd_serve(args) -> None:
     """Run the open-system serving simulator and report load metrics."""
     import json
 
-    from repro.errors import ParameterError
+    from repro.errors import ParameterError, WorkloadError
     from repro.obs import (
         collecting,
         write_cluster_trace,
@@ -347,13 +356,17 @@ def cmd_serve(args) -> None:
                 ).run(
                     args.workload, arrivals,
                     seed=args.seed, population=population,
+                    passes=args.passes,
                 )
             else:
                 result = ServingSimulator(config, policy).run(
-                    args.workload, arrivals, seed=args.seed
+                    args.workload, arrivals, seed=args.seed,
+                    passes=args.passes,
                 )
         except KeyError as exc:
             raise SystemExit(f"error: {exc.args[0]}") from None
+        except WorkloadError as exc:
+            raise SystemExit(f"error: {exc}") from None
     if args.validate:
         result.validate()
         if fleet:
@@ -418,6 +431,7 @@ def cmd_serve(args) -> None:
                 "arrivals": arrival_desc,
                 "seed": args.seed,
                 "lanes": args.lanes,
+                "passes": args.passes or "none",
                 "policy": {
                     "max_batch_size": policy.max_batch_size,
                     "max_queue_delay": policy.max_queue_delay,
@@ -512,6 +526,12 @@ def _add_obs_options(sub) -> None:
         help="check schedule invariants (no overlap per core instance, "
              "HBM channel budget, dependency order, time conservation) "
              "on the simulated run before exporting",
+    )
+    sub.add_argument(
+        "--passes", default=None,
+        help="compiler pass pipeline for the benchmark program: 'none' "
+             "(default, legacy barriers), 'default' (full pipeline), "
+             "or a comma-separated pass list (see docs/COMPILER.md)",
     )
     sub.add_argument(
         "-o", "--output", default=None,
@@ -614,6 +634,12 @@ def _add_serve_options(sub) -> None:
         "--autoscale-max", type=int, default=None,
         help="enable autoscaling up to this many instances against "
              "the queue-depth knee (default: fixed fleet)",
+    )
+    sub.add_argument(
+        "--passes", default=None,
+        help="compiler pass pipeline for the request programs: 'none' "
+             "(default), 'default' (full pipeline), or a "
+             "comma-separated pass list (see docs/COMPILER.md)",
     )
     sub.add_argument(
         "--validate", action="store_true",

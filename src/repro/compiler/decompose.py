@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.compiler.ops import FheOp, FheOpName
 from repro.errors import WorkloadError
+from repro.obs import metrics
 from repro.sim.tasks import OperatorKind, OperatorTask
 from repro.sim.config import LIMB_BYTES
 
@@ -267,7 +268,7 @@ def _lower_rotation(op: FheOp) -> list[OperatorTask]:
     last = len(tasks) - 1
     tasks.append(
         _task(
-            OperatorKind.MA, op, polys=1, write_polys=2,
+            OperatorKind.MA, op, polys=2, write_polys=2,
             deps=(1, last),
         )
     )
@@ -340,36 +341,96 @@ _LOWERERS = {
 }
 
 
-def decompose_operation(op: FheOp) -> list[OperatorTask]:
+#: Meta keys that annotate dataflow for the pass pipeline; every
+#: lowering ignores them, so they are stripped from cache keys and
+#: annotated/bare variants of one op share a cache entry.
+_ANNOTATION_KEYS = frozenset({"reads", "writes"})
+
+#: Memoized lowerings: serve arrivals and repeated workload compiles
+#: hit the same few (name, shape) combinations over and over.
+_lowering_cache: dict[tuple, tuple[OperatorTask, ...]] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _cache_key(op: FheOp) -> tuple:
+    meta = tuple(
+        (k, v) for k, v in op.meta if k not in _ANNOTATION_KEYS
+    )
+    return (op.name, op.degree, op.limbs, op.aux_limbs, meta)
+
+
+def lowering_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the lowering cache."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_lowering_cache),
+    }
+
+
+def clear_lowering_cache() -> None:
+    """Drop every memoized lowering and reset the counters."""
+    global _cache_hits, _cache_misses
+    _lowering_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def decompose_operation(op: FheOp, *, use_cache: bool = True) -> list[OperatorTask]:
     """Lower one FHE basic operation to its operator task list.
+
+    Lowerings are memoized on ``(name, degree, limbs, aux_limbs,
+    metadata)`` with dataflow annotations stripped — tasks are frozen,
+    so cached entries are shared safely and each call returns a fresh
+    list. ``use_cache=False`` bypasses the cache (used by its tests).
 
     Raises:
         WorkloadError: for operations without a direct lowering
             (Bootstrapping must be expressed as its constituent ops by
             the workload generator, as the paper's Table I implies).
     """
+    global _cache_hits, _cache_misses
     lowerer = _LOWERERS.get(op.name)
     if lowerer is None:
         raise WorkloadError(
             f"no direct lowering for {op.name.value}; expand it into "
             "basic operations first"
         )
-    return lowerer(op)
+    if not use_cache:
+        return lowerer(op)
+    try:
+        key = _cache_key(op)
+        cached = _lowering_cache.get(key)
+    except TypeError:  # unhashable annotation value: lower directly
+        return lowerer(op)
+    reg = metrics.active()
+    if cached is None:
+        _cache_misses += 1
+        cached = tuple(lowerer(op))
+        _lowering_cache[key] = cached
+        if reg is not None:
+            reg.counter("compiler.lowering_cache.misses").inc()
+    else:
+        _cache_hits += 1
+        if reg is not None:
+            reg.counter("compiler.lowering_cache.hits").inc()
+    return list(cached)
 
 
 def operator_usage(op: FheOp) -> dict[str, bool]:
-    """Which operator core arrays an operation touches (Table I row)."""
-    kinds = {t.kind.core for t in decompose_operation(op)}
-    kinds |= {
-        "SBT"
-        for t in decompose_operation(op)
-        if t.kind in (OperatorKind.MM, OperatorKind.NTT, OperatorKind.INTT,
-                      OperatorKind.SBT)
-    }
+    """Which operator core arrays an operation touches (Table I row).
+
+    Reports the *task kinds* the lowering actually emits: SBT is
+    checked only when a real SBT (digit-lift) task exists — the
+    keyswitch-bearing ops — not merely because MM/NTT tasks share
+    silicon with the SBT cores.
+    """
+    kinds = {t.kind for t in decompose_operation(op)}
     return {
-        "MA": "MA" in kinds,
-        "MM": "MM" in kinds,
-        "NTT/INTT": "NTT" in kinds,
-        "Automorphism": "Automorphism" in kinds,
-        "SBT": "SBT" in kinds,
+        "MA": OperatorKind.MA in kinds,
+        "MM": OperatorKind.MM in kinds,
+        "NTT/INTT": bool(kinds & {OperatorKind.NTT, OperatorKind.INTT}),
+        "Automorphism": OperatorKind.AUTO in kinds,
+        "SBT": OperatorKind.SBT in kinds,
     }

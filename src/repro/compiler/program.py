@@ -3,14 +3,17 @@
 Operations are sequenced with barrier semantics between dependent ops
 (each op's entry tasks depend on the previous op's exit tasks), which
 matches how Poseidon's controller drains one basic operation's pipeline
-before reconfiguring the shared cores for the next.
+before reconfiguring the shared cores for the next. An optional
+compiler pass pipeline (:mod:`repro.compiler.passes`) rewrites the
+draft between lowering and assembly — relaxing barriers into true
+dataflow edges, hoisting ModUp reuse, fusing elementwise handoffs —
+before the task list is frozen.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.decompose import decompose_operation
 from repro.compiler.ops import FheOp
 from repro.compiler.trace import TraceRecorder
 from repro.sim.tasks import OperatorTask
@@ -46,7 +49,9 @@ class OperatorProgram:
         )
 
 
-def compile_trace(trace, *, op_parallel: bool = False) -> OperatorProgram:
+def compile_trace(
+    trace, *, op_parallel: bool = False, passes=None
+) -> OperatorProgram:
     """Compile an op stream (TraceRecorder or FheOp iterable).
 
     Sequencing: by default the first tasks of op ``i+1`` gain a
@@ -58,32 +63,27 @@ def compile_trace(trace, *, op_parallel: bool = False) -> OperatorProgram:
     constrained only by core-array and HBM availability. This models
     *independent* ciphertext streams (batch serving) and is how the
     operator-reuse benefit of time-multiplexing shows up as throughput.
+
+    ``passes`` selects the compiler pass pipeline applied between
+    lowering and assembly — anything
+    :func:`repro.compiler.passes.resolve_passes` accepts (``None`` or
+    ``"none"`` for the legacy byte-identical assembly, ``"default"``
+    for the full pipeline, or an explicit pass list).
     """
+    from repro.compiler.passes import (
+        ProgramDraft,
+        apply_pipeline,
+        resolve_passes,
+    )
+
     ops = list(trace.ops if isinstance(trace, TraceRecorder) else trace)
-    all_tasks: list[OperatorTask] = []
-    boundaries: list[tuple[int, int]] = []
-    for op in ops:
-        lowered = decompose_operation(op)
-        offset = len(all_tasks)
-        barrier = () if op_parallel else ((offset - 1,) if offset else ())
-        for task in lowered:
-            shifted = task.shifted(offset)
-            if not shifted.depends_on and barrier:
-                shifted = OperatorTask(
-                    kind=shifted.kind,
-                    elements=shifted.elements,
-                    degree=shifted.degree,
-                    limbs=shifted.limbs,
-                    hbm_read_bytes=shifted.hbm_read_bytes,
-                    hbm_write_bytes=shifted.hbm_write_bytes,
-                    spad_bytes=shifted.spad_bytes,
-                    depends_on=barrier,
-                    op_label=shifted.op_label,
-                )
-            all_tasks.append(shifted)
-        boundaries.append((offset, len(all_tasks)))
+    draft = ProgramDraft.from_ops(ops, op_parallel=op_parallel)
+    pipeline = resolve_passes(passes)
+    if pipeline:
+        apply_pipeline(draft, pipeline)
+    tasks, boundaries = draft.assemble()
     return OperatorProgram(
-        tasks=tuple(all_tasks),
-        op_boundaries=tuple(boundaries),
-        source_ops=tuple(ops),
+        tasks=tasks,
+        op_boundaries=boundaries,
+        source_ops=tuple(draft.ops),
     )

@@ -468,6 +468,7 @@ class ClusterSimulator:
         *,
         seed: int = 0,
         population: TenantPopulation | None = None,
+        passes=None,
     ) -> ClusterResult:
         """Serve one arrival stream across the fleet to completion.
 
@@ -480,9 +481,11 @@ class ClusterSimulator:
                 so job sequences match across fleet sizes).
             population: tenant/key-set identity of the arrivals;
                 defaults to one tenant with one key set.
+            passes: compiler pass pipeline applied to each job type's
+                program when ``workloads`` is a spec string.
         """
         if isinstance(workloads, str):
-            jobs = resolve_request_mix(workloads)
+            jobs = resolve_request_mix(workloads, passes=passes)
         else:
             jobs = tuple(workloads)
         if not jobs:

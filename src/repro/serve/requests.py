@@ -69,12 +69,31 @@ def _streaming_ops() -> list[FheOp]:
     return ops
 
 
+def _rotations_ops() -> list[FheOp]:
+    """A rotation burst over one ciphertext (BSGS-style baby steps).
+
+    All four rotations read the same source ciphertext — declared via
+    ``reads``/``writes`` tokens — so the ``hoist-rotations`` compiler
+    pass can rewrite rotations 2..4 to reuse the first one's digit
+    decomposition. Without passes it compiles as four cold rotations.
+    """
+    return [
+        FheOp.make(
+            FheOpName.ROTATION, MIX_DEGREE, MIX_LEVEL,
+            aux_limbs=MIX_AUX,
+            reads=("src",), writes=(f"rot{i}",),
+        )
+        for i in range(4)
+    ]
+
+
 #: Light request mixes, by name. Paper benchmarks are resolved
 #: dynamically (see :func:`request_type`) so this table stays cheap to
 #: import.
 REQUEST_MIXES = {
     "keyswitch": _keyswitch_ops,
     "streaming": _streaming_ops,
+    "rotations": _rotations_ops,
 }
 
 
@@ -91,18 +110,23 @@ class RequestType:
 
 
 @lru_cache(maxsize=None)
-def request_type(name: str) -> RequestType:
+def request_type(name: str, passes: tuple[str, ...] = ()) -> RequestType:
     """Resolve a job-type name to its compiled :class:`RequestType`.
 
-    Accepts the light mix names (``keyswitch``, ``streaming``) and any
-    paper-benchmark spelling that
+    Accepts the light mix names (``keyswitch``, ``streaming``,
+    ``rotations``) and any paper-benchmark spelling that
     :func:`repro.workloads.resolve_benchmark` knows (``resnet20``,
-    ``lr``, ...). Compilation happens once per name per process.
+    ``lr``, ...). ``passes`` is a resolved compiler pass-name tuple
+    (see :func:`repro.compiler.passes.resolve_passes`); the compiled
+    program is cached once per (name, passes) per process, and the
+    lowering cache below it dedupes identical ops across job types.
     """
     key = name.strip().lower()
     if key in REQUEST_MIXES:
         ops = REQUEST_MIXES[key]()
-        return RequestType(name=key, program=compile_trace(ops))
+        return RequestType(
+            name=key, program=compile_trace(ops, passes=passes)
+        )
     from repro.workloads import PAPER_BENCHMARKS, resolve_benchmark
 
     try:
@@ -112,7 +136,7 @@ def request_type(name: str) -> RequestType:
             f"unknown request workload {name!r}; expected one of "
             f"{sorted(REQUEST_MIXES)} or a paper benchmark alias"
         ) from None
-    program = compile_trace(PAPER_BENCHMARKS[canonical]())
+    program = compile_trace(PAPER_BENCHMARKS[canonical](), passes=passes)
     return RequestType(name=canonical, program=program)
 
 
@@ -171,13 +195,20 @@ class TenantPopulation:
         return out
 
 
-def resolve_request_mix(spec: str) -> tuple[RequestType, ...]:
+def resolve_request_mix(
+    spec: str, *, passes=None
+) -> tuple[RequestType, ...]:
     """Parse a comma-separated workload spec into job types.
 
     ``"keyswitch"`` serves one job type; ``"keyswitch,streaming"``
     serves both, chosen per request by the simulator's seeded RNG.
+    ``passes`` selects the compiler pass pipeline applied to every job
+    type's program (anything ``resolve_passes`` accepts).
     """
+    from repro.compiler.passes import resolve_passes
+
+    pipeline = resolve_passes(passes)
     names = [part for part in (p.strip() for p in spec.split(",")) if part]
     if not names:
         raise KeyError(f"empty request workload spec {spec!r}")
-    return tuple(request_type(name) for name in names)
+    return tuple(request_type(name, pipeline) for name in names)

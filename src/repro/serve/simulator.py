@@ -268,6 +268,7 @@ class ServingSimulator:
         arrivals,
         *,
         seed: int = 0,
+        passes=None,
     ) -> ServingResult:
         """Serve one arrival stream to completion.
 
@@ -283,9 +284,12 @@ class ServingSimulator:
                 object with a ``times()`` method).
             seed: drives the job-type draw; arrival times carry their
                 own seed.
+            passes: compiler pass pipeline applied to each job type's
+                program when ``workloads`` is a spec string (anything
+                :func:`repro.compiler.passes.resolve_passes` accepts).
         """
         if isinstance(workloads, str):
-            jobs = resolve_request_mix(workloads)
+            jobs = resolve_request_mix(workloads, passes=passes)
         else:
             jobs = tuple(workloads)
         if not jobs:

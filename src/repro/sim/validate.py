@@ -36,6 +36,51 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.compiler.program import OperatorProgram
 
 
+def validate_program(program: "OperatorProgram") -> None:
+    """Static sanity check of a compiled program's task DAG.
+
+    Verifies what must hold *before* any simulation — used by the
+    compiler pass tests and benchmarks to reject a malformed rewrite
+    without paying for a run:
+
+    - every dependency index is in range and strictly backward (the
+      task list is topologically ordered by construction, so this is
+      also the acyclicity proof);
+    - op boundaries partition ``[0, task_count)`` in order with
+      non-empty spans, so per-op attribution (Fig. 7-9) stays
+      coherent after any rewrite.
+
+    Raises:
+        SimulationError: on the first violated property.
+    """
+    tasks = program.tasks
+    for i, task in enumerate(tasks):
+        for dep in task.depends_on:
+            if not 0 <= dep < i:
+                raise SimulationError(
+                    f"task {i} depends on {dep}: dependencies must be "
+                    "strictly backward in-range indices"
+                )
+    cursor = 0
+    for oi, (start, end) in enumerate(program.op_boundaries):
+        if start != cursor or end <= start:
+            raise SimulationError(
+                f"op {oi} boundary ({start}, {end}) does not continue "
+                f"the partition at {cursor}"
+            )
+        cursor = end
+    if cursor != len(tasks):
+        raise SimulationError(
+            f"op boundaries cover {cursor} tasks, program has "
+            f"{len(tasks)}"
+        )
+    if len(program.op_boundaries) != len(program.source_ops):
+        raise SimulationError(
+            f"{len(program.op_boundaries)} boundary spans for "
+            f"{len(program.source_ops)} source ops"
+        )
+
+
 def validate_schedule(
     result: SimulationResult,
     *,

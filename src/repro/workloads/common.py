@@ -67,6 +67,7 @@ class WorkloadBuilder:
     ):
         self.degree = degree
         self.trace = TraceRecorder(default_aux_limbs=aux_limbs)
+        self._hoist_seq = 0
         top = start_level if top_level is None else top_level
         if top < start_level:
             raise WorkloadError(
@@ -124,8 +125,25 @@ class WorkloadBuilder:
         if count <= 0:
             return
         if hoisted and count > 1:
-            self._emit(FheOpName.ROTATION, 1)
-            self._emit(FheOpName.HOISTED_ROTATION, count - 1)
+            # Annotate the group's dataflow: every hoisted rotation
+            # reads the cold rotation's digit decomposition and writes
+            # its own output, so the relax-barriers compiler pass can
+            # overlap the k-1 hoisted rotations instead of draining
+            # the pipeline between them. Lowerings ignore these keys;
+            # without the pass the trace compiles byte-identically.
+            self._hoist_seq += 1
+            tag = f"hoist{self._hoist_seq}"
+            self._emit(
+                FheOpName.ROTATION, 1,
+                reads=(f"{tag}:src",),
+                writes=(f"{tag}:digits", f"{tag}:rot0"),
+            )
+            for i in range(1, count):
+                self._emit(
+                    FheOpName.HOISTED_ROTATION, 1,
+                    reads=(f"{tag}:digits",),
+                    writes=(f"{tag}:rot{i}",),
+                )
         else:
             self._emit(FheOpName.ROTATION, count)
 

@@ -26,8 +26,12 @@ class TestTable1:
         assert rows["PMult"]["MM"] and not rows["PMult"]["Automorphism"]
         assert rows["Rotation"]["Automorphism"]
         assert rows["Keyswitch"]["NTT/INTT"]
+        # SBT appears only where a real digit-lift task exists: the
+        # keyswitch-bearing operations, not PMult/Rescale.
         assert all(rows[op]["SBT"] for op in
-                   ("PMult", "CMult", "Keyswitch", "Rotation", "Rescale"))
+                   ("CMult", "Keyswitch", "Rotation"))
+        assert not any(rows[op]["SBT"] for op in
+                       ("HAdd", "PMult", "Rescale"))
 
 
 class TestTable2:

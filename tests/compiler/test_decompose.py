@@ -124,8 +124,126 @@ class TestOperatorUsage:
         usage = operator_usage(op(FheOpName.HADD))
         assert usage["MA"] and not usage["NTT/INTT"]
         usage = operator_usage(op(FheOpName.PMULT))
-        assert usage["MM"] and usage["SBT"] and not usage["Automorphism"]
+        assert usage["MM"] and not usage["SBT"] and not usage["Automorphism"]
         usage = operator_usage(op(FheOpName.ROTATION))
         assert all(usage.values())
         usage = operator_usage(op(FheOpName.KEYSWITCH))
         assert usage["MA"] and usage["MM"] and usage["NTT/INTT"]
+
+    def test_exact_usage_map(self):
+        """Pin the full Table I matrix: SBT only where a digit-lift
+        task really exists (the keyswitch-bearing ops), never merely
+        because MM/NTT tasks share the SBT silicon."""
+        expected = {
+            FheOpName.HADD: {
+                "MA": True, "MM": False, "NTT/INTT": False,
+                "Automorphism": False, "SBT": False,
+            },
+            FheOpName.PMULT: {
+                "MA": False, "MM": True, "NTT/INTT": False,
+                "Automorphism": False, "SBT": False,
+            },
+            FheOpName.CMULT: {
+                "MA": True, "MM": True, "NTT/INTT": True,
+                "Automorphism": False, "SBT": True,
+            },
+            FheOpName.RESCALE: {
+                "MA": True, "MM": True, "NTT/INTT": True,
+                "Automorphism": False, "SBT": False,
+            },
+            FheOpName.KEYSWITCH: {
+                "MA": True, "MM": True, "NTT/INTT": True,
+                "Automorphism": False, "SBT": True,
+            },
+            FheOpName.ROTATION: {
+                "MA": True, "MM": True, "NTT/INTT": True,
+                "Automorphism": True, "SBT": True,
+            },
+        }
+        for name, row in expected.items():
+            assert operator_usage(op(name)) == row, name.value
+
+    def test_usage_decomposes_once(self):
+        """operator_usage must not re-lower the op a second time."""
+        from repro.compiler.decompose import (
+            clear_lowering_cache,
+            lowering_cache_info,
+        )
+
+        clear_lowering_cache()
+        operator_usage(op(FheOpName.CMULT))
+        info = lowering_cache_info()
+        assert info["hits"] + info["misses"] == 1
+
+
+class TestRotationAccounting:
+    def test_final_accumulate_covers_both_parts(self):
+        """The rotation's closing MA adds (delta0, delta1) into both
+        ciphertext parts: 2 polys of MA work, matching CMult's closing
+        accumulate and its own 2-poly result write."""
+        tasks = decompose_operation(op(FheOpName.ROTATION))
+        final = tasks[-1]
+        assert final.kind is OperatorKind.MA
+        assert final.elements == 2 * (L + 1) * N
+        from repro.sim.config import LIMB_BYTES
+
+        unit = (L + 1) * N * LIMB_BYTES
+        assert final.hbm_write_bytes == 2 * unit
+
+    def test_matches_cmult_accumulate_shape(self):
+        rot = decompose_operation(op(FheOpName.ROTATION))[-1]
+        cm = decompose_operation(op(FheOpName.CMULT))[-1]
+        assert rot.elements == cm.elements
+        assert rot.hbm_write_bytes == cm.hbm_write_bytes
+
+
+class TestLoweringCache:
+    def test_cache_hit_on_repeat(self):
+        from repro.compiler.decompose import (
+            clear_lowering_cache,
+            lowering_cache_info,
+        )
+
+        clear_lowering_cache()
+        a = decompose_operation(op(FheOpName.ROTATION))
+        b = decompose_operation(op(FheOpName.ROTATION))
+        info = lowering_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert a == b
+        assert a is not b  # fresh list per call
+
+    def test_annotations_share_cache_entry(self):
+        from repro.compiler.decompose import (
+            clear_lowering_cache,
+            lowering_cache_info,
+        )
+
+        clear_lowering_cache()
+        bare = decompose_operation(op(FheOpName.HADD))
+        noted = decompose_operation(
+            op(FheOpName.HADD, reads=("a", "b"), writes=("c",))
+        )
+        assert bare == noted
+        assert lowering_cache_info() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_distinct_meta_distinct_entries(self):
+        from repro.compiler.decompose import (
+            clear_lowering_cache,
+            lowering_cache_info,
+        )
+
+        clear_lowering_cache()
+        a = decompose_operation(op(FheOpName.HADD, kind="ct-ct"))
+        b = decompose_operation(op(FheOpName.HADD, kind="ct-pt"))
+        assert a != b
+        assert lowering_cache_info()["size"] == 2
+
+    def test_use_cache_false_bypasses(self):
+        from repro.compiler.decompose import (
+            clear_lowering_cache,
+            lowering_cache_info,
+        )
+
+        clear_lowering_cache()
+        decompose_operation(op(FheOpName.HADD), use_cache=False)
+        assert lowering_cache_info() == {"hits": 0, "misses": 0, "size": 0}

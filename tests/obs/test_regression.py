@@ -120,6 +120,8 @@ class TestRegressDriver:
             "table4/PMult",
             "table4/Keyswitch",
             "table6/LR",
+            "table6-passes/LR",
+            "table6-passes/Packed Bootstrapping",
             "fig10/k=2",
             "fig10/k=3",
             "serve/keyswitch-r300-b8",
