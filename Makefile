@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: test test-batched test-numpy properties golden coverage bench \
-	bench-smoke regress serve-sweep fleet-sweep passes-sweep lint \
-	examples tables profile quicktest all
+	bench-smoke regress serve-sweep fleet-sweep passes-sweep ntt-cores \
+	lint examples tables profile quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -73,6 +73,11 @@ fleet-sweep:
 # the full-pipeline-improves-makespan and determinism gates.
 passes-sweep:
 	$(PYTHON) benchmarks/bench_passes.py
+
+# NTT core cross-design comparison: variant x (N, L, lanes, bandwidth)
+# winner map, with default-variant byte-determinism and validator gates.
+ntt-cores:
+	$(PYTHON) benchmarks/bench_ntt_cores.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -11,7 +11,12 @@ from repro.automorphism.galois import (
     galois_element_for_rotation,
     rotation_for_galois_element,
 )
-from repro.automorphism.hfauto import HFAutoPlan, hfauto_apply
+from repro.automorphism.hfauto import (
+    HFAutoPlan,
+    hfauto_apply,
+    hfauto_cycles_per_limb,
+    hfauto_stage_costs,
+)
 from repro.automorphism.mapping import (
     apply_automorphism_poly,
     automorphism_indices,
@@ -27,5 +32,7 @@ __all__ = [
     "automorphism_signs",
     "galois_element_for_rotation",
     "hfauto_apply",
+    "hfauto_cycles_per_limb",
+    "hfauto_stage_costs",
     "rotation_for_galois_element",
 ]

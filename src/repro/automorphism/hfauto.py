@@ -50,6 +50,31 @@ class StageCost:
     elements_per_cycle: int
 
 
+def hfauto_stage_costs(n: int, subvector: int) -> list[StageCost]:
+    """Per-stage cycle counts of one HFAuto pass on an R x C matrix.
+
+    The single source of truth for HFAuto's cycle cost, shared by
+    :meth:`HFAutoPlan.stage_costs` and the simulator's cycle/latency
+    models (:mod:`repro.sim.cores`, :mod:`repro.sim.resources`) so the
+    three can never drift apart. Stages 1-3 move R rows of C elements
+    at C elements per cycle (R cycles each); stage 4 maps the C
+    columns exposed by the dimension switch (C cycles) — ``3R + C``
+    per limb in total.
+    """
+    r = n // subvector
+    return [
+        StageCost("row_map", r, subvector),
+        StageCost("fifo_shift", r, subvector),
+        StageCost("dimension_switch", r, subvector),
+        StageCost("column_map", subvector, r),
+    ]
+
+
+def hfauto_cycles_per_limb(n: int, subvector: int) -> int:
+    """Total HFAuto pipeline cycles for one limb (sum of the stages)."""
+    return sum(stage.cycles for stage in hfauto_stage_costs(n, subvector))
+
+
 class HFAutoPlan:
     """Precomputed stage permutations for ``sigma_k`` on degree ``n``.
 
@@ -155,12 +180,7 @@ class HFAutoPlan:
     # ------------------------------------------------------------------
     def stage_costs(self) -> list[StageCost]:
         """Per-stage cycle counts at C elements per cycle."""
-        return [
-            StageCost("row_map", self.r, self.c),
-            StageCost("fifo_shift", self.r, self.c),
-            StageCost("dimension_switch", self.r, self.c),
-            StageCost("column_map", self.c, self.r),
-        ]
+        return hfauto_stage_costs(self.n, self.c)
 
     def total_cycles(self) -> int:
         """Pipeline cycles for one limb (sum of stages)."""

@@ -51,6 +51,7 @@ from repro.analysis import (
 from repro.analysis.report import render_shares, render_table
 from repro.serve.router import ROUTER_POLICIES
 from repro.sim.config import HardwareConfig
+from repro.sim.ntt_cores import DEFAULT_NTT_CORE, available_ntt_cores
 
 #: Canonical workload spellings for fig11/design.
 PAPER_WORKLOADS = ("LR", "LSTM", "ResNet-20", "Packed Bootstrapping")
@@ -60,6 +61,9 @@ def _config_from_args(args) -> HardwareConfig:
     config = HardwareConfig(use_hfauto=not args.naive_auto)
     if args.lanes != 512:
         config = config.with_lanes(args.lanes)
+    ntt_core = getattr(args, "ntt_core", DEFAULT_NTT_CORE)
+    if ntt_core != DEFAULT_NTT_CORE:
+        config = config.with_ntt_core(ntt_core)
     return config
 
 
@@ -183,7 +187,10 @@ def cmd_design(args) -> None:
     from repro.workloads import PAPER_BENCHMARKS
 
     program = compile_trace(PAPER_BENCHMARKS[args.workload]())
-    explorer = DesignExplorer(program)
+    base = HardwareConfig()
+    if args.ntt_core != DEFAULT_NTT_CORE:
+        base = base.with_ntt_core(args.ntt_core)
+    explorer = DesignExplorer(program, base_config=base)
     points = explorer.sweep()
     frontier = explorer.pareto(points)
     rows = [
@@ -202,7 +209,8 @@ def cmd_design(args) -> None:
     print(render_table(
         ["lanes", "k", "ms", "energy_J", "lut", "dsp", "fits", "pareto"],
         rows,
-        title=f"Design-space exploration — {args.workload} (U280 budget)",
+        title=f"Design-space exploration — {args.workload} "
+              f"[{args.ntt_core}] (U280 budget)",
     ))
     best = explorer.best(objective="seconds")
     print(f"best (time): {best.label}")
@@ -496,7 +504,7 @@ COMMANDS = {
     "fig11": (cmd_fig11, ("workload",)),
     "fig12": (cmd_fig12, ("hw",)),
     "summary": (cmd_summary, ()),
-    "design": (cmd_design, ("workload",)),
+    "design": (cmd_design, ("workload", "nttcore")),
     "trace": (cmd_trace, ("hw", "obs")),
     "metrics": (cmd_metrics, ("hw", "obs")),
     "serve": (cmd_serve, ("hw", "serve")),
@@ -512,6 +520,12 @@ def _add_hw_options(sub) -> None:
     sub.add_argument(
         "--naive-auto", action="store_true",
         help="use the naive Auto core instead of HFAuto",
+    )
+    sub.add_argument(
+        "--ntt-core", default=DEFAULT_NTT_CORE,
+        choices=available_ntt_cores(),
+        help="NTT core microarchitecture variant "
+             f"(default '{DEFAULT_NTT_CORE}'; see docs/CORES.md)",
     )
 
 
@@ -696,6 +710,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--workload", default="ResNet-20",
                 choices=PAPER_WORKLOADS,
                 help="paper workload",
+            )
+        if "nttcore" in groups:
+            sub.add_argument(
+                "--ntt-core", default=DEFAULT_NTT_CORE,
+                choices=available_ntt_cores(),
+                help="NTT core microarchitecture to sweep with "
+                     f"(default '{DEFAULT_NTT_CORE}'; see docs/CORES.md)",
             )
     return parser
 

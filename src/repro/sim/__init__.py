@@ -11,6 +11,8 @@ Submodules:
   HBM/scratchpad, NTT radix, HFAuto toggle).
 - :mod:`repro.sim.tasks` — operator task records.
 - :mod:`repro.sim.cores` — per-core cycle models.
+- :mod:`repro.sim.ntt_cores` — pluggable NTT core microarchitectures
+  (fused radix-2^k default plus competing designs from the literature).
 - :mod:`repro.sim.memory` — HBM/scratchpad traffic and timing.
 - :mod:`repro.sim.engine` — the discrete-event scheduler.
 - :mod:`repro.sim.energy` — energy and EDP models.

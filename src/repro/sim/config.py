@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ParameterError
+from repro.sim.ntt_cores import DEFAULT_NTT_CORE, available_ntt_cores
 from repro.utils.bitops import is_power_of_two
 
 #: Bytes per RNS limb element (the paper's 32-bit datapath).
@@ -36,6 +37,10 @@ class HardwareConfig:
         scratchpad_bandwidth: on-chip bandwidth in bytes/second.
         ntt_radix_log2: NTT-fusion parameter k (paper default 3).
         ntt_cores: parallel NTT butterfly cores (64 x 8-input = 512).
+        ntt_core: NTT core microarchitecture variant (see
+            :mod:`repro.sim.ntt_cores` and ``docs/CORES.md``); the
+            default ``"poseidon"`` is the paper's fused radix-2^k
+            design and reproduces every baseline number byte-for-byte.
         use_hfauto: HFAuto (True) vs naive one-element Auto (False).
         pcie_bandwidth: host link bandwidth (staging only).
         core_instances: per-core-array instance counts as sorted
@@ -55,6 +60,7 @@ class HardwareConfig:
     use_hfauto: bool = True
     pcie_bandwidth: float = 16e9
     core_instances: tuple[tuple[str, int], ...] = ()
+    ntt_core: str = DEFAULT_NTT_CORE
 
     def __post_init__(self):
         if not is_power_of_two(self.lanes):
@@ -81,6 +87,11 @@ class HardwareConfig:
                 raise ParameterError(
                     f"core {core} needs a positive instance count, got {count!r}"
                 )
+        if self.ntt_core not in available_ntt_cores():
+            raise ParameterError(
+                f"unknown NTT core variant {self.ntt_core!r} "
+                f"(registered: {', '.join(available_ntt_cores())})"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -104,13 +115,17 @@ class HardwareConfig:
         NTT cores scale with lanes (each 2^k-input core consumes 2^k
         lanes' worth of operands per cycle), and the scratchpad is
         sized proportionally as in the paper (8.6 MB at 512 lanes).
+        Both scale from *this* config's values — not the paper default
+        — so a customized scratchpad (or core count) survives a sweep,
+        and chained ``with_lanes`` calls compose instead of compounding
+        against a stale base.
         """
-        ratio = lanes / 512
+        ratio = lanes / self.lanes
         return replace(
             self,
             lanes=lanes,
             ntt_cores=max(1, int(self.ntt_cores * ratio)),
-            scratchpad_bytes=max(1, int(int(8.6 * 2**20) * ratio)),
+            scratchpad_bytes=max(1, int(self.scratchpad_bytes * ratio)),
         )
 
     def with_radix(self, radix_log2: int) -> "HardwareConfig":
@@ -120,6 +135,16 @@ class HardwareConfig:
     def with_hfauto(self, enabled: bool) -> "HardwareConfig":
         """Copy toggling HFAuto (Table IX ablation)."""
         return replace(self, use_hfauto=enabled)
+
+    def with_ntt_core(self, name: str) -> "HardwareConfig":
+        """Copy with a different NTT core microarchitecture.
+
+        ``name`` must be registered in
+        :mod:`repro.sim.ntt_cores` (``poseidon``, ``hermes``,
+        ``hf-ntt``, ``digit-serial`` out of the box); validation
+        happens in ``__post_init__``.
+        """
+        return replace(self, ntt_core=name)
 
     # ------------------------------------------------------------------
     def instances_of(self, core: str) -> int:

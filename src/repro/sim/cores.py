@@ -7,26 +7,42 @@ formulas follow the paper's architecture:
 - **MA / MM / SBT** — fully pipelined element-wise arrays, ``lanes``
   elements per cycle plus a fixed pipeline-fill latency (MM/SBT are
   deeper than MA because of the Barrett datapath).
-- **NTT / INTT** — ``ceil(log2(N)/k)`` fused phases (Table III); each
-  phase streams the N-point limb through the 2^k-input cores at
-  ``lanes`` elements per cycle, with a per-phase reconfiguration
-  bubble that grows with the fused twiddle count (the Table II
-  overhead that makes k > 3 lose, Fig. 10).
+- **NTT / INTT** — dispatched to the NTT core microarchitecture the
+  config selects (:mod:`repro.sim.ntt_cores`). The default
+  ``poseidon`` variant is the paper's fused radix-2^k core:
+  ``ceil(log2(N)/k)`` fused phases (Table III), each streaming the
+  N-point limb through the 2^k-input cores at ``lanes`` elements per
+  cycle, with a per-phase reconfiguration bubble that grows with the
+  fused twiddle count (the Table II overhead that makes k > 3 lose,
+  Fig. 10). ``hermes``, ``hf-ntt`` and ``digit-serial`` model the
+  competing microarchitectures from PAPERS.md (see ``docs/CORES.md``).
 - **Automorphism** — HFAuto's four stages move ``lanes`` elements per
-  cycle (:meth:`HFAutoPlan.total_cycles`); the naive Auto ablation
-  resolves one index map per cycle (Table VIII: N cycles per limb).
+  cycle; the per-limb cost comes from
+  :func:`repro.automorphism.hfauto.hfauto_cycles_per_limb`, the same
+  formula behind :meth:`HFAutoPlan.total_cycles`, so the functional
+  plan and the cycle model cannot drift apart. The naive Auto
+  ablation resolves one index map per cycle (Table VIII: N cycles per
+  limb).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.automorphism.hfauto import hfauto_cycles_per_limb
 from repro.errors import SimulationError
-from repro.ntt.fusion import FusionCostModel
 from repro.sim.config import HardwareConfig
+from repro.sim.ntt_cores import (  # noqa: F401  (re-exported for compat)
+    NTT_MULTS_PER_LANE,
+    NTT_TWIDDLE_STAGE_CYCLES,
+    NTTCoreModel,
+    get_ntt_core,
+)
 from repro.sim.tasks import OperatorKind, OperatorTask
 
-#: Pipeline-fill depths (cycles) per core array.
+#: Pipeline-fill depths (cycles) per core array. The NTT entry is the
+#: fill of the default ``poseidon`` variant; other NTT variants carry
+#: their own fill in :mod:`repro.sim.ntt_cores`.
 PIPELINE_DEPTH = {
     "MA": 4,
     "MM": 12,      # multiplier + Barrett reduce
@@ -34,16 +50,6 @@ PIPELINE_DEPTH = {
     "NTT": 16,     # butterfly network + reduce
     "Automorphism": 6,
 }
-
-#: Per-phase reconfiguration bubble of the NTT core, in cycles, per
-#: fused twiddle factor that must be staged into BRAM.
-NTT_TWIDDLE_STAGE_CYCLES = 2.0
-
-#: DSP multiplies each NTT lane can issue per cycle. A fused radix-2^k
-#: output needs B-1 = 2^k - 1 accumulated multiplies; once that exceeds
-#: the budget the core's sustained rate drops below one element per
-#: lane per cycle — the effect that makes k > 3 lose in Fig. 10.
-NTT_MULTS_PER_LANE = 8
 
 
 @dataclass(frozen=True)
@@ -59,7 +65,7 @@ class CoreModel:
 
     def __init__(self, config: HardwareConfig):
         self.config = config
-        self._fusion = FusionCostModel(config.ntt_radix_log2)
+        self.ntt_core_model: NTTCoreModel = get_ntt_core(config.ntt_core)
 
     # ------------------------------------------------------------------
     def elementwise_cycles(self, task: OperatorTask, depth: int) -> float:
@@ -67,39 +73,29 @@ class CoreModel:
         return task.elements / self.config.lanes + depth
 
     def ntt_cycles(self, task: OperatorTask) -> float:
-        """Fused-NTT cycles: phases x (stream + twiddle staging).
+        """NTT/INTT cycles under the configured core variant.
 
-        One limb of degree N costs ``phases * N / lanes`` streaming
-        cycles; limbs stream back-to-back through the pipelined cores.
-        The per-phase bubble charges the Table II twiddle overhead.
+        Delegates to the selected :class:`NTTCoreModel`; the default
+        ``poseidon`` variant reproduces the paper's fused radix-2^k
+        formula byte-for-byte (stream + twiddle-staging bubble +
+        pipeline fill; see :mod:`repro.sim.ntt_cores`).
         """
-        n = task.degree
-        phases = self._fusion.phases(n)
-        limb_count = task.elements / n
-        # Throughput cap: each output accumulates B-1 multiplies; the
-        # lane's DSP budget sustains NTT_MULTS_PER_LANE per cycle.
-        rate_penalty = max(
-            1.0, self._fusion.mults_per_output() / NTT_MULTS_PER_LANE
-        )
-        stream = (
-            phases * (n / self.config.lanes) * limb_count * rate_penalty
-        )
-        bubble = (
-            phases
-            * NTT_TWIDDLE_STAGE_CYCLES
-            * self._fusion.fused_twiddle_count()
-        )
-        return stream + bubble + PIPELINE_DEPTH["NTT"]
+        return self.ntt_core_model.cycles(task, self.config)
 
     def automorphism_cycles(self, task: OperatorTask) -> float:
-        """HFAuto (4 sub-vector stages) or naive Auto (1 element/cycle)."""
+        """HFAuto (4 sub-vector stages) or naive Auto (1 element/cycle).
+
+        The HFAuto per-limb cost is
+        :func:`~repro.automorphism.hfauto.hfauto_cycles_per_limb` —
+        the sum of the four stage costs (``3R + C``) that
+        :meth:`HFAutoPlan.total_cycles` also reports.
+        """
         n = task.degree
         limb_count = task.elements / n
         if not self.config.use_hfauto:
             return n * limb_count + PIPELINE_DEPTH["Automorphism"]
         c = min(self.config.lanes, n)
-        r = n // c
-        per_limb = 3 * r + c  # row map, fifo shift, dim switch, col map
+        per_limb = hfauto_cycles_per_limb(n, c)
         return per_limb * limb_count + PIPELINE_DEPTH["Automorphism"]
 
     # ------------------------------------------------------------------

@@ -38,10 +38,14 @@ class DesignPoint:
     edp: float
     resources: ResourceVector
     fits: bool
+    ntt_core: str = "poseidon"
 
     @property
     def label(self) -> str:
-        return f"lanes={self.lanes}, k={self.radix_log2}"
+        label = f"lanes={self.lanes}, k={self.radix_log2}"
+        if self.ntt_core != "poseidon":
+            label += f", ntt_core={self.ntt_core}"
+        return label
 
 
 def _within_budget(resources: ResourceVector, budget: dict) -> bool:
@@ -59,15 +63,35 @@ class DesignExplorer:
     Args:
         program: the compiled operator program to optimize for.
         budget: FPGA resource limits (defaults to the U280).
+        base_config: configuration every grid point is derived from
+            (defaults to the paper's U280 config). Caller-customized
+            fields — ``use_hfauto``, ``core_instances``, ``ntt_core``,
+            bandwidths — survive the sweep; only lanes and radix are
+            overridden per point.
     """
 
-    def __init__(self, program, *, budget: dict | None = None):
+    def __init__(
+        self,
+        program,
+        *,
+        budget: dict | None = None,
+        base_config: HardwareConfig | None = None,
+    ):
         self.program = program
         self.budget = dict(U280_BUDGET if budget is None else budget)
+        self.base_config = (
+            HardwareConfig() if base_config is None else base_config
+        )
 
     def evaluate(self, lanes: int, radix_log2: int) -> DesignPoint:
-        """Simulate one configuration and price its resources."""
-        config = HardwareConfig().with_lanes(lanes).with_radix(radix_log2)
+        """Simulate one configuration and price its resources.
+
+        The point's config is ``base_config`` with lanes and radix
+        swapped in — never a fresh default, so customizations on the
+        base (HFAuto ablation, replicated core arrays, the NTT core
+        variant) are honored at every grid point.
+        """
+        config = self.base_config.with_lanes(lanes).with_radix(radix_log2)
         result = PoseidonSimulator(config).run(self.program)
         energy_model = EnergyModel(config)
         energy = energy_model.breakdown(result, self.program).total
@@ -80,6 +104,7 @@ class DesignExplorer:
             edp=energy * result.total_seconds,
             resources=resources,
             fits=_within_budget(resources, self.budget),
+            ntt_core=config.ntt_core,
         )
 
     def sweep(

@@ -19,8 +19,13 @@ from dataclasses import dataclass
 
 from repro.sim.config import HardwareConfig
 from repro.sim.engine import SimulationResult
+from repro.sim.ntt_cores import get_ntt_core
 
 #: Dynamic energy per processed element, in joules (32-bit datapath).
+#: The NTT entry is the default ``poseidon`` variant's coefficient;
+#: :class:`EnergyModel` swaps in the configured variant's own value
+#: (see :mod:`repro.sim.ntt_cores`) so the design explorer prices
+#: alternative microarchitectures honestly.
 CORE_ENERGY_PER_ELEMENT = {
     "MA": 2.0e-12,          # compare + conditional subtract
     "MM": 28.0e-12,         # DSP multiply + Barrett reduce
@@ -82,18 +87,24 @@ class EnergyModel:
         self._static_watts = STATIC_POWER_WATTS * (
             0.5 + 0.5 * config.lanes / 512
         )
+        # The configured NTT core variant sets the NTT per-element
+        # energy (identical to the table above for ``poseidon``).
+        self._core_energy_per_element = dict(CORE_ENERGY_PER_ELEMENT)
+        self._core_energy_per_element["NTT"] = get_ntt_core(
+            config.ntt_core
+        ).energy_per_element
 
     def breakdown(
         self, result: SimulationResult, program
     ) -> EnergyBreakdown:
         """Energy attribution for a simulated program."""
         core_energy: dict[str, float] = {
-            name: 0.0 for name in CORE_ENERGY_PER_ELEMENT
+            name: 0.0 for name in self._core_energy_per_element
         }
         spad_bytes = 0
         for task in program.tasks:
             core = task.kind.core
-            per_elem = CORE_ENERGY_PER_ELEMENT.get(core)
+            per_elem = self._core_energy_per_element.get(core)
             if per_elem is None:
                 continue
             core_energy[core] += per_elem * task.elements

@@ -1,0 +1,407 @@
+"""Pluggable NTT core microarchitecture models.
+
+Poseidon's NTT core (the fused radix-2^k design of Section III-A,
+Table II, Fig. 10) is one point in a crowded design space: the related
+work in PAPERS.md fields direct competitors that trade cycles/element,
+pipeline-hazard stalls, and twiddle-memory traffic very differently.
+This module abstracts the NTT cycle/resource/energy model behind a
+registry of :class:`NTTCoreModel` variants so the simulator, the
+resource and energy models, and the design-space explorer can price
+any of them — turning the reproduction into a cross-design exploration
+tool rather than a single-point model (see ``docs/CORES.md``).
+
+Registered variants:
+
+- ``poseidon`` — the paper's fused radix-2^k core. Byte-identical to
+  the formula that used to live in ``CoreModel.ntt_cycles``; the
+  default, so every existing baseline number is unchanged.
+- ``hermes`` — hybrid-dataflow unified NTT/INTT datapath (Gu et al.,
+  arXiv:2603.01556). Two radix-2 stages per pass with a tiny constant
+  per-pass reconfiguration bubble, but every butterfly re-fetches its
+  twiddle from BRAM, so the stream rate carries a twiddle-port-sharing
+  overhead. Wins at small transforms where the fused design's twiddle
+  staging bubble and deep pipeline fill dominate.
+- ``hf-ntt`` — hazard-free dataflow accelerator (Meng et al.,
+  arXiv:2410.04805). A fixed-size butterfly PE array with dataflow
+  forwarding instead of stalls: zero per-phase bubbles, shallow fill,
+  but a *fixed* per-butterfly rate independent of the vector-lane
+  width. Wins at narrow lane counts where Poseidon's lane-coupled
+  throughput collapses.
+- ``digit-serial`` — homogeneous pipelined digit-serial modulo
+  arithmetic (Alexakis et al., arXiv:2507.12418). Each modular
+  operation is processed D digits at a time by deeply pipelined
+  LUT-based units: half the per-lane throughput and a deep fill, but
+  almost no DSPs — the variant the design explorer reaches for when
+  the DSP budget binds.
+
+Cycle accounting is exposed via :meth:`NTTCoreModel.cycle_breakdown`
+(``stream`` / ``bubble`` / ``fill``) so tests and benches can assert
+the hazard/stall structure, not just the total.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.ntt.fusion import FusionCostModel
+from repro.utils.bitops import ilog2
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.config import HardwareConfig
+    from repro.sim.tasks import OperatorTask
+
+# ----------------------------------------------------------------------
+# Fabric-level constants shared with the resource model
+# ----------------------------------------------------------------------
+
+#: 36Kb BRAM => 4 KB usable (UltraScale+; re-exported by
+#: :mod:`repro.sim.resources`).
+BRAM_PER_KB = 1 / 4.0
+
+# ----------------------------------------------------------------------
+# poseidon (fused radix-2^k) constants — moved verbatim from
+# repro.sim.cores so the default cycle model stays byte-identical.
+# ----------------------------------------------------------------------
+
+#: Per-phase reconfiguration bubble of the fused NTT core, in cycles,
+#: per fused twiddle factor that must be staged into BRAM.
+NTT_TWIDDLE_STAGE_CYCLES = 2.0
+
+#: DSP multiplies each NTT lane can issue per cycle. A fused radix-2^k
+#: output needs B-1 = 2^k - 1 accumulated multiplies; once that exceeds
+#: the budget the core's sustained rate drops below one element per
+#: lane per cycle — the effect that makes k > 3 lose in Fig. 10.
+NTT_MULTS_PER_LANE = 8
+
+#: Pipeline-fill depth of the fused butterfly network + reduce
+#: (mirrors ``PIPELINE_DEPTH["NTT"]`` in :mod:`repro.sim.cores`).
+POSEIDON_PIPELINE_FILL = 16
+
+#: Relative logic cost vs the k = 3 design point, calibrated to the
+#: paper's Fig. 10 sweep. The structural trade: smaller k needs more
+#: cascaded pipeline phases (more inter-stage buffering and control),
+#: larger k needs superlinearly more butterfly multipliers and
+#: twiddle staging (Table II) — the minimum sits at k = 3.
+NTT_SHAPE = {1: 1.35, 2: 1.12, 3: 1.0, 4: 1.15, 5: 1.5, 6: 2.3}
+
+#: Baseline fused-NTT-array resources at k = 3, 512 lanes. The DSP
+#: count reflects multiplier sharing between the butterfly network and
+#: the fused SBT reductions (the whole accelerator must undercut the
+#: Table XII rivals' 3584/8448 DSPs).
+NTT_BASE = {"lut": 44000, "ff": 73700, "dsp": 1344, "bram": 128}
+
+# ----------------------------------------------------------------------
+# hermes (hybrid-dataflow unified NTT/INTT) constants
+# ----------------------------------------------------------------------
+
+#: Radix-2 stages retired per dataflow pass (the MDC/MDF ping-pong).
+HERMES_STAGES_PER_PASS = 2
+
+#: Stream-rate overhead from sharing the twiddle-BRAM read ports with
+#: the butterfly datapath: every butterfly re-fetches its twiddle, so
+#: the effective element rate is lanes / this factor.
+HERMES_TWIDDLE_PORT_FACTOR = 1.25
+
+#: Per-pass dataflow reconfiguration bubble, cycles. The unified
+#: datapath swaps dataflow direction instead of staging fused twiddle
+#: sets, so this is constant and tiny.
+HERMES_PASS_BUBBLE = 1.0
+
+#: Pipeline fill of the unified butterfly pipeline.
+HERMES_PIPELINE_FILL = 8
+
+# ----------------------------------------------------------------------
+# hf-ntt (hazard-free dataflow) constants
+# ----------------------------------------------------------------------
+
+#: Radix-2 butterflies the fixed PE array retires per cycle. The array
+#: is sized by its own DSP/routing budget, *not* by the accelerator's
+#: vector-lane width — the hazard-free dataflow keeps every PE busy
+#: regardless of how wide the surrounding scratchpad datapath is.
+HF_NTT_BUTTERFLIES_PER_CYCLE = 256
+
+#: Pipeline fill; hazard-free forwarding needs no flush between
+#: stages or limbs, so only the initial fill is charged.
+HF_NTT_PIPELINE_FILL = 8
+
+# ----------------------------------------------------------------------
+# digit-serial (pipelined digit-serial modulo arithmetic) constants
+# ----------------------------------------------------------------------
+
+#: Digits per 32-bit operand (8-bit digits): a modular multiply
+#: occupies a unit for this many cycles.
+DIGIT_SERIAL_DIGITS = 4
+
+#: Digit-serial units per vector lane. The units are LUT-cheap, so the
+#: array affords two per lane — net rate lanes/2 elements per cycle.
+DIGIT_SERIAL_UNITS_PER_LANE = 2
+
+#: Deep digit pipeline fill (D digit phases x pipeline depth).
+DIGIT_SERIAL_PIPELINE_FILL = 64
+
+
+@lru_cache(maxsize=16)
+def _fusion(radix_log2: int) -> FusionCostModel:
+    """Cached per-k fusion cost model (hot path: one lookup per task)."""
+    return FusionCostModel(radix_log2)
+
+
+@lru_cache(maxsize=16)
+def _fused_twiddles(radix_log2: int) -> int:
+    """Cached fused twiddle count (set-building is O(4^k) per call)."""
+    return _fusion(radix_log2).fused_twiddle_count()
+
+
+class NTTCoreModel:
+    """One NTT core microarchitecture: cycles, resources, energy.
+
+    Subclasses define the three quantities the simulator stack needs:
+
+    - :meth:`cycle_breakdown` — ``stream`` / ``bubble`` / ``fill``
+      cycles of one NTT/INTT task (:meth:`cycles` sums them in that
+      order, which keeps float results byte-stable);
+    - :meth:`resources` — the core array's LUT/FF/DSP/BRAM dict,
+      wrapped into a vector by :class:`repro.sim.resources.ResourceModel`;
+    - :attr:`energy_per_element` — dynamic joules per processed
+      element, consumed by :class:`repro.sim.energy.EnergyModel`.
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    #: One-line description for docs/CLI listings.
+    description = ""
+
+    #: Dynamic energy per processed element, joules.
+    energy_per_element = 0.0
+
+    def cycle_breakdown(
+        self, task: "OperatorTask", config: "HardwareConfig"
+    ) -> dict[str, float]:
+        raise NotImplementedError
+
+    def cycles(
+        self, task: "OperatorTask", config: "HardwareConfig"
+    ) -> float:
+        breakdown = self.cycle_breakdown(task, config)
+        return breakdown["stream"] + breakdown["bubble"] + breakdown["fill"]
+
+    def resources(self, config: "HardwareConfig") -> dict[str, int]:
+        raise NotImplementedError
+
+
+class PoseidonFusedCore(NTTCoreModel):
+    """The paper's fused radix-2^k core (Table II / Fig. 10).
+
+    ``ceil(log2(N)/k)`` fused phases stream each N-point limb through
+    the 2^k-input cores at ``lanes`` elements per cycle, throttled once
+    the B-1 accumulated multiplies per output exceed the per-lane DSP
+    budget, plus a per-phase twiddle-staging bubble (Table II) and the
+    butterfly-network pipeline fill. Byte-identical to the pre-registry
+    ``CoreModel.ntt_cycles`` formula.
+    """
+
+    name = "poseidon"
+    description = "fused radix-2^k butterflies (the paper's core)"
+    energy_per_element = 45.0e-12  # butterfly + twiddle fetch + reduce
+
+    def cycle_breakdown(self, task, config):
+        fusion = _fusion(config.ntt_radix_log2)
+        n = task.degree
+        phases = fusion.phases(n)
+        limb_count = task.elements / n
+        # Throughput cap: each output accumulates B-1 multiplies; the
+        # lane's DSP budget sustains NTT_MULTS_PER_LANE per cycle.
+        rate_penalty = max(
+            1.0, fusion.mults_per_output() / NTT_MULTS_PER_LANE
+        )
+        stream = (
+            phases * (n / config.lanes) * limb_count * rate_penalty
+        )
+        bubble = (
+            phases
+            * NTT_TWIDDLE_STAGE_CYCLES
+            * _fused_twiddles(config.ntt_radix_log2)
+        )
+        return {
+            "stream": stream,
+            "bubble": bubble,
+            "fill": POSEIDON_PIPELINE_FILL,
+        }
+
+    def resources(self, config):
+        fusion = _fusion(config.ntt_radix_log2)
+        costs = fusion.costs()
+        block = 1 << config.ntt_radix_log2
+        cores = max(1, config.lanes // block)
+        shape = ntt_shape_factor(config.ntt_radix_log2)
+        lane_scale = config.lanes / 512
+        twiddle_bram = max(
+            1, int(costs.twiddles_fused * block * 4 / 1024 * BRAM_PER_KB)
+        ) * cores
+        return {
+            "lut": int(NTT_BASE["lut"] * shape * lane_scale),
+            "ff": int(NTT_BASE["ff"] * shape * lane_scale),
+            "dsp": int(NTT_BASE["dsp"] * shape * lane_scale),
+            "bram": int(NTT_BASE["bram"] * shape * lane_scale)
+            + twiddle_bram,
+        }
+
+
+class HermesHybridCore(NTTCoreModel):
+    """Hermes: unified hybrid-dataflow NTT/INTT (arXiv:2603.01556).
+
+    One datapath serves NTT and INTT by ping-ponging between two
+    dataflow organizations, retiring two radix-2 stages per pass. There
+    is no fused-twiddle staging — each butterfly reads its twiddle from
+    BRAM, which costs stream bandwidth (the port-sharing factor) but
+    makes the per-pass reconfiguration bubble a small constant. The
+    fill is shallow because the butterflies are plain radix-2.
+    """
+
+    name = "hermes"
+    description = "unified hybrid-dataflow NTT/INTT (Hermes)"
+    energy_per_element = 52.0e-12  # extra twiddle-BRAM traffic
+
+    def cycle_breakdown(self, task, config):
+        n = task.degree
+        limb_count = task.elements / n
+        passes = -(-ilog2(n) // HERMES_STAGES_PER_PASS)  # ceil
+        stream = (
+            passes
+            * (n / config.lanes)
+            * limb_count
+            * HERMES_TWIDDLE_PORT_FACTOR
+        )
+        bubble = passes * HERMES_PASS_BUBBLE
+        return {
+            "stream": stream,
+            "bubble": bubble,
+            "fill": HERMES_PIPELINE_FILL,
+        }
+
+    def resources(self, config):
+        lane_scale = config.lanes / 512
+        # Unified datapath: extra muxing LUTs and double-buffered
+        # twiddle BRAM banks, fewer DSPs than the dense fused block.
+        return {
+            "lut": int(52000 * lane_scale),
+            "ff": int(78000 * lane_scale),
+            "dsp": int(1152 * lane_scale),
+            "bram": int(320 * lane_scale),
+        }
+
+
+class HazardFreeCore(NTTCoreModel):
+    """HF-NTT: hazard-free dataflow butterfly array (arXiv:2410.04805).
+
+    A fixed PE array retires :data:`HF_NTT_BUTTERFLIES_PER_CYCLE`
+    radix-2 butterflies every cycle; dataflow forwarding removes all
+    inter-stage and inter-limb pipeline hazards, so there is no bubble
+    term at all — but the rate is a property of the array, not of the
+    accelerator's vector-lane width.
+    """
+
+    name = "hf-ntt"
+    description = "hazard-free fixed-rate dataflow array (HF-NTT)"
+    energy_per_element = 38.0e-12  # no stall/flush energy, simple PEs
+
+    def cycle_breakdown(self, task, config):
+        n = task.degree
+        limb_count = task.elements / n
+        butterflies = ilog2(n) * (n / 2) * limb_count
+        stream = butterflies / HF_NTT_BUTTERFLIES_PER_CYCLE
+        return {
+            "stream": stream,
+            "bubble": 0.0,
+            "fill": HF_NTT_PIPELINE_FILL,
+        }
+
+    def resources(self, config):
+        # The array is fixed-size: resources do not scale with lanes.
+        return {"lut": 38000, "ff": 61000, "dsp": 768, "bram": 96}
+
+
+class DigitSerialCore(NTTCoreModel):
+    """Pipelined digit-serial modulo arithmetic (arXiv:2507.12418).
+
+    Modular multiplies proceed D = :data:`DIGIT_SERIAL_DIGITS` digits
+    at a time through deeply pipelined LUT-based units — two per lane,
+    so the sustained rate is ``lanes / 2`` elements per cycle across
+    ``log2(N)`` radix-2 stages. The fill is deep (digit phases x
+    pipeline depth) but there are no hazard bubbles, and the DSP cost
+    is near zero: the design the explorer picks when DSPs bind.
+    """
+
+    name = "digit-serial"
+    description = "pipelined digit-serial modulo arithmetic"
+    energy_per_element = 30.0e-12  # LUT digit ops, minimal DSP toggling
+
+    def cycle_breakdown(self, task, config):
+        n = task.degree
+        limb_count = task.elements / n
+        rate = (
+            config.lanes * DIGIT_SERIAL_UNITS_PER_LANE
+            / DIGIT_SERIAL_DIGITS
+        )
+        stream = ilog2(n) * n * limb_count / rate
+        return {
+            "stream": stream,
+            "bubble": 0.0,
+            "fill": DIGIT_SERIAL_PIPELINE_FILL,
+        }
+
+    def resources(self, config):
+        lane_scale = config.lanes / 512
+        # Digit arithmetic lives in LUTs/FFs; DSPs nearly free.
+        return {
+            "lut": int(72000 * lane_scale),
+            "ff": int(96000 * lane_scale),
+            "dsp": int(64 * lane_scale),
+            "bram": int(72 * lane_scale),
+        }
+
+
+def ntt_shape_factor(radix_log2: int) -> float:
+    """Fig.-10-calibrated logic-cost shape of the fused core vs k = 3."""
+    shape = NTT_SHAPE.get(radix_log2)
+    if shape is None:
+        # Extrapolate the superlinear butterfly growth beyond k = 6.
+        shape = NTT_SHAPE[6] * (1.6 ** (radix_log2 - 6))
+    return shape
+
+
+#: Registry of selectable NTT core microarchitectures.
+NTT_CORE_REGISTRY: dict[str, NTTCoreModel] = {}
+
+
+def register_ntt_core(model: NTTCoreModel) -> NTTCoreModel:
+    """Register a variant under ``model.name`` (last write wins)."""
+    NTT_CORE_REGISTRY[model.name] = model
+    return model
+
+
+def get_ntt_core(name: str) -> NTTCoreModel:
+    """Look up a registered variant by name."""
+    try:
+        return NTT_CORE_REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown NTT core variant {name!r} "
+            f"(registered: {', '.join(sorted(NTT_CORE_REGISTRY))})"
+        ) from None
+
+
+def available_ntt_cores() -> tuple[str, ...]:
+    """Sorted names of all registered variants."""
+    return tuple(sorted(NTT_CORE_REGISTRY))
+
+
+DEFAULT_NTT_CORE = "poseidon"
+
+register_ntt_core(PoseidonFusedCore())
+register_ntt_core(HermesHybridCore())
+register_ntt_core(HazardFreeCore())
+register_ntt_core(DigitSerialCore())

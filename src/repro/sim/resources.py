@@ -14,15 +14,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ntt.fusion import FusionCostModel
+from repro.automorphism.hfauto import hfauto_cycles_per_limb
 from repro.sim.config import HardwareConfig
+from repro.sim.ntt_cores import (
+    BRAM_PER_KB,  # noqa: F401  (canonical home moved; re-exported)
+    NTT_BASE,
+    NTT_SHAPE,
+    get_ntt_core,
+    ntt_shape_factor,
+)
 
 #: Unit costs of one 32-bit datapath element on UltraScale+ fabric.
 LUT_PER_ADDER = 32          # 32-bit add/sub + compare
 FF_PER_STAGE = 36           # pipeline register per 32-bit value
 DSP_PER_MULT = 3            # 32x32 multiply = 3 DSP48 slices
 LUT_PER_MULT_GLUE = 58      # reduction glue logic around the DSPs
-BRAM_PER_KB = 1 / 4.0       # 36Kb BRAM => 4 KB usable
 
 
 @dataclass(frozen=True)
@@ -100,50 +106,30 @@ class ResourceModel:
             bram=0,
         )
 
-    #: Relative logic cost vs the k = 3 design point, calibrated to the
-    #: paper's Fig. 10 sweep. The structural trade: smaller k needs more
-    #: cascaded pipeline phases (more inter-stage buffering and control),
-    #: larger k needs superlinearly more butterfly multipliers and
-    #: twiddle staging (Table II) — the minimum sits at k = 3.
-    NTT_SHAPE = {1: 1.35, 2: 1.12, 3: 1.0, 4: 1.15, 5: 1.5, 6: 2.3}
-
-    #: Baseline NTT-array resources at k = 3, 512 lanes. The DSP count
-    #: reflects multiplier sharing between the butterfly network and
-    #: the fused SBT reductions (the whole accelerator must undercut
-    #: the Table XII rivals' 3584/8448 DSPs).
-    NTT_BASE = {"lut": 44000, "ff": 73700, "dsp": 1344, "bram": 128}
+    #: Fused-core (``poseidon``) shape/base tables — canonical values
+    #: live in :mod:`repro.sim.ntt_cores`; kept here as class attrs for
+    #: backwards compatibility.
+    NTT_SHAPE = NTT_SHAPE
+    NTT_BASE = NTT_BASE
 
     def _ntt_shape(self, k: int) -> float:
-        shape = self.NTT_SHAPE.get(k)
-        if shape is None:
-            # Extrapolate the superlinear butterfly growth beyond k = 6.
-            shape = self.NTT_SHAPE[6] * (1.6 ** (k - 6))
-        return shape
+        return ntt_shape_factor(k)
 
     def ntt_core(self) -> ResourceVector:
-        """NTT array: 2^k-input fused butterflies + twiddle BRAM.
+        """NTT array resources of the configured core variant.
 
-        Logic scales with lanes and with the Fig.-10-calibrated shape
-        factor over the fusion radix (see :attr:`NTT_SHAPE`); BRAM also
-        carries the fused twiddle factors of Table II.
+        The default ``poseidon`` variant models the 2^k-input fused
+        butterflies + twiddle BRAM: logic scales with lanes and with
+        the Fig.-10-calibrated shape factor over the fusion radix (see
+        :attr:`NTT_SHAPE`), and BRAM also carries the fused twiddle
+        factors of Table II. The competing variants carry their own
+        structural formulas in :mod:`repro.sim.ntt_cores` (e.g.
+        ``hf-ntt`` is a fixed-size array independent of lanes,
+        ``digit-serial`` trades nearly all DSPs for LUT digit
+        arithmetic).
         """
-        cfg = self.config
-        fusion = FusionCostModel(cfg.ntt_radix_log2)
-        costs = fusion.costs()
-        block = 1 << cfg.ntt_radix_log2
-        cores = max(1, cfg.lanes // block)
-        shape = self._ntt_shape(cfg.ntt_radix_log2)
-        lane_scale = cfg.lanes / 512
-        twiddle_bram = max(
-            1, int(costs.twiddles_fused * block * 4 / 1024 * BRAM_PER_KB)
-        ) * cores
-        return ResourceVector(
-            lut=int(self.NTT_BASE["lut"] * shape * lane_scale),
-            ff=int(self.NTT_BASE["ff"] * shape * lane_scale),
-            dsp=int(self.NTT_BASE["dsp"] * shape * lane_scale),
-            bram=int(self.NTT_BASE["bram"] * shape * lane_scale)
-            + twiddle_bram,
-        )
+        variant = get_ntt_core(self.config.ntt_core)
+        return ResourceVector(**variant.resources(self.config))
 
     def automorphism_core(self) -> ResourceVector:
         """HFAuto (C-wide crossbar + FIFOs + BRAM) or naive Auto."""
@@ -187,12 +173,17 @@ class ResourceModel:
         return total
 
     def automorphism_latency_cycles(self, degree: int) -> int:
-        """Latency of one automorphism pass (Table VIII's last column)."""
+        """Latency of one automorphism pass (Table VIII's last column).
+
+        Delegates to the same stage-cost formula the functional
+        :class:`~repro.automorphism.hfauto.HFAutoPlan` reports, so the
+        published-table renderer and the cycle model agree by
+        construction.
+        """
         if not self.config.use_hfauto:
             return degree
         c = min(self.config.lanes, degree)
-        r = degree // c
-        return 3 * r + c
+        return hfauto_cycles_per_limb(degree, c)
 
 
 #: Published resource totals of competing FPGA prototypes (Table XII).

@@ -95,11 +95,49 @@ class TestSweepHelpers:
             int(8.6 * 2**20) * 128 / 512, rel=0.01
         )
 
+    def test_with_lanes_scales_from_self_not_paper_default(self):
+        """Regression: with_lanes used to rescale the scratchpad from
+        the literal 8.6 MB paper default, silently discarding a
+        customized capacity."""
+        from dataclasses import replace
+
+        custom = replace(HardwareConfig(), scratchpad_bytes=2**20)
+        swept = custom.with_lanes(256)
+        assert swept.scratchpad_bytes == 2**19  # half of *custom*, not
+        # half of the 8.6 MB default
+
+    def test_chained_with_lanes_composes(self):
+        """Down then back up must round-trip, not compound stale
+        ratios (the old literal-base bug left chained sweeps at the
+        last ratio against the paper default)."""
+        cfg = HardwareConfig().with_lanes(128).with_lanes(512)
+        base = HardwareConfig()
+        assert cfg.lanes == base.lanes
+        assert cfg.ntt_cores == base.ntt_cores
+        # Exact up to int truncation of the intermediate capacity.
+        assert cfg.scratchpad_bytes == pytest.approx(
+            base.scratchpad_bytes, abs=4
+        )
+
     def test_with_radix(self):
         assert HardwareConfig().with_radix(4).ntt_radix_log2 == 4
 
     def test_with_hfauto(self):
         assert not HardwareConfig().with_hfauto(False).use_hfauto
+
+    def test_with_ntt_core(self):
+        cfg = HardwareConfig().with_ntt_core("hermes")
+        assert cfg.ntt_core == "hermes"
+        # Selection survives a lane sweep (the design explorer relies
+        # on this).
+        assert cfg.with_lanes(128).ntt_core == "hermes"
+
+    def test_default_ntt_core(self):
+        assert HardwareConfig().ntt_core == "poseidon"
+
+    def test_rejects_unknown_ntt_core(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(ntt_core="flux-capacitor")
 
     def test_immutable(self):
         cfg = HardwareConfig()

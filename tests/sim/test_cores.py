@@ -88,6 +88,27 @@ class TestAutomorphism:
         t = task(OperatorKind.AUTO, elements=256, degree=256)
         assert model.task_cycles(t).cycles > 0
 
+    @pytest.mark.parametrize("lanes", [64, 256, 512])
+    @pytest.mark.parametrize("n", [1 << 12, 1 << 14, 1 << 16])
+    def test_per_limb_cost_matches_hfauto_plan(self, lanes, n):
+        """Regression: the cycle model's per-limb HFAuto cost and
+        HFAutoPlan.total_cycles() now share one formula — assert they
+        agree (3R + C) at every lane/N combination."""
+        from repro.automorphism import HFAutoPlan
+        from repro.sim.cores import PIPELINE_DEPTH
+
+        model = CoreModel(HardwareConfig().with_lanes(lanes))
+        limbs = 3
+        t = task(OperatorKind.AUTO, elements=n * limbs, degree=n,
+                 limbs=limbs)
+        c = min(lanes, n)
+        plan_cycles = HFAutoPlan(n, 5, subvector=c).total_cycles()
+        expected = (
+            plan_cycles * limbs + PIPELINE_DEPTH["Automorphism"]
+        )
+        assert model.task_cycles(t).cycles == expected
+        assert plan_cycles == 3 * (n // c) + c
+
 
 class TestDispatch:
     def test_core_names(self, model):

@@ -39,6 +39,38 @@ class TestEvaluate:
         assert not explorer.evaluate(512, 3).fits
 
 
+class TestBaseConfig:
+    """Regression: evaluate() used to build a fresh HardwareConfig(),
+    silently discarding caller customizations on every grid point."""
+
+    def test_base_config_overrides_survive_evaluate(self, program):
+        from repro.sim.config import HardwareConfig
+
+        base = HardwareConfig(use_hfauto=False).with_core_instances(NTT=2)
+        explorer = DesignExplorer(program, base_config=base)
+        default = DesignExplorer(program)
+        point = explorer.evaluate(512, 3)
+        # The naive-Auto ablation is dramatically slower — if the base
+        # config were dropped, these would be equal.
+        assert point.seconds > default.evaluate(512, 3).seconds
+
+    def test_base_config_ntt_core_survives_sweep(self, program):
+        from repro.sim.config import HardwareConfig
+
+        base = HardwareConfig().with_ntt_core("hf-ntt")
+        explorer = DesignExplorer(program, base_config=base)
+        points = explorer.sweep(
+            lanes_options=(128, 512), radix_options=(3,)
+        )
+        assert all(p.ntt_core == "hf-ntt" for p in points)
+        assert all("ntt_core=hf-ntt" in p.label for p in points)
+
+    def test_default_points_label_omits_default_core(self, explorer):
+        point = explorer.evaluate(512, 3)
+        assert point.ntt_core == "poseidon"
+        assert "ntt_core" not in point.label
+
+
 class TestSearch:
     def test_best_matches_paper_choice(self, explorer):
         """The search lands on the paper's design point: k = 3 at the

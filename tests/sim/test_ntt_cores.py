@@ -1,0 +1,264 @@
+"""Unit tests for the pluggable NTT core microarchitecture registry."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.ntt.fusion import FusionCostModel
+from repro.sim.config import HardwareConfig
+from repro.sim.cores import PIPELINE_DEPTH, CoreModel
+from repro.sim.designer import U280_BUDGET
+from repro.sim.energy import CORE_ENERGY_PER_ELEMENT, EnergyModel
+from repro.sim.ntt_cores import (
+    DEFAULT_NTT_CORE,
+    NTT_CORE_REGISTRY,
+    NTT_MULTS_PER_LANE,
+    NTT_TWIDDLE_STAGE_CYCLES,
+    available_ntt_cores,
+    get_ntt_core,
+)
+from repro.sim.resources import ResourceModel
+from repro.sim.tasks import OperatorKind, OperatorTask
+
+PAPER_N = 1 << 16
+PAPER_L = 44
+
+
+def ntt_task(n=PAPER_N, limbs=PAPER_L):
+    return OperatorTask(
+        kind=OperatorKind.NTT, elements=n * limbs, degree=n, limbs=limbs
+    )
+
+
+class TestRegistry:
+    def test_at_least_four_variants(self):
+        assert len(NTT_CORE_REGISTRY) >= 4
+
+    def test_expected_variants_present(self):
+        for name in ("poseidon", "hermes", "hf-ntt", "digit-serial"):
+            assert name in NTT_CORE_REGISTRY
+
+    def test_default_is_poseidon(self):
+        assert DEFAULT_NTT_CORE == "poseidon"
+        assert HardwareConfig().ntt_core == "poseidon"
+
+    def test_names_self_consistent(self):
+        for name in available_ntt_cores():
+            assert get_ntt_core(name).name == name
+
+    def test_unknown_variant_lookup_raises(self):
+        with pytest.raises(SimulationError):
+            get_ntt_core("warp-drive")
+
+    def test_unknown_variant_config_raises(self):
+        with pytest.raises(ParameterError):
+            HardwareConfig(ntt_core="warp-drive")
+        with pytest.raises(ParameterError):
+            HardwareConfig().with_ntt_core("warp-drive")
+
+
+class TestPoseidonByteIdentity:
+    """The default variant must equal the pre-registry inline formula
+    bit for bit — this is what keeps baseline.json valid unchanged."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("lanes", [64, 512])
+    def test_matches_legacy_formula(self, k, lanes):
+        config = HardwareConfig().with_lanes(lanes).with_radix(k)
+        task = ntt_task()
+        got = CoreModel(config).ntt_cycles(task)
+        # The formula that used to live in CoreModel.ntt_cycles,
+        # replicated literally (same literals, same operation order).
+        fusion = FusionCostModel(k)
+        n = task.degree
+        phases = fusion.phases(n)
+        limb_count = task.elements / n
+        rate_penalty = max(
+            1.0, fusion.mults_per_output() / NTT_MULTS_PER_LANE
+        )
+        stream = phases * (n / config.lanes) * limb_count * rate_penalty
+        bubble = (
+            phases * NTT_TWIDDLE_STAGE_CYCLES
+            * fusion.fused_twiddle_count()
+        )
+        legacy = stream + bubble + PIPELINE_DEPTH["NTT"]
+        assert got == legacy  # exact, not approx
+
+    def test_fill_matches_pipeline_depth(self):
+        breakdown = get_ntt_core("poseidon").cycle_breakdown(
+            ntt_task(), HardwareConfig()
+        )
+        assert breakdown["fill"] == PIPELINE_DEPTH["NTT"]
+
+
+class TestCycleStructure:
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_breakdown_keys_and_sum(self, name):
+        core = get_ntt_core(name)
+        config = HardwareConfig().with_ntt_core(name)
+        breakdown = core.cycle_breakdown(ntt_task(), config)
+        assert set(breakdown) == {"stream", "bubble", "fill"}
+        assert all(v >= 0 for v in breakdown.values())
+        assert core.cycles(ntt_task(), config) == (
+            breakdown["stream"] + breakdown["bubble"] + breakdown["fill"]
+        )
+
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_monotone_in_n(self, name):
+        core = get_ntt_core(name)
+        config = HardwareConfig().with_ntt_core(name)
+        cycles = [
+            core.cycles(ntt_task(n=n, limbs=8), config)
+            for n in (1 << 12, 1 << 14, 1 << 16)
+        ]
+        assert cycles == sorted(cycles)
+        assert cycles[0] < cycles[-1]
+
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_monotone_in_limbs(self, name):
+        core = get_ntt_core(name)
+        config = HardwareConfig().with_ntt_core(name)
+        cycles = [
+            core.cycles(ntt_task(limbs=limbs), config)
+            for limbs in (1, 8, 44)
+        ]
+        assert cycles == sorted(cycles)
+        assert cycles[0] < cycles[-1]
+
+    def test_hazard_free_has_no_bubble(self):
+        breakdown = get_ntt_core("hf-ntt").cycle_breakdown(
+            ntt_task(), HardwareConfig().with_ntt_core("hf-ntt")
+        )
+        assert breakdown["bubble"] == 0.0
+
+    def test_poseidon_bubble_grows_with_radix(self):
+        """The twiddle-staging hazard is the Fig. 10 penalty: fused
+        twiddle sets grow superlinearly in k."""
+        core = get_ntt_core("poseidon")
+        task = ntt_task()
+        b3 = core.cycle_breakdown(task, HardwareConfig().with_radix(3))
+        b6 = core.cycle_breakdown(task, HardwareConfig().with_radix(6))
+        assert b6["bubble"] > b3["bubble"]
+
+    def test_hf_ntt_rate_is_lane_independent(self):
+        core = get_ntt_core("hf-ntt")
+        task = ntt_task()
+        wide = HardwareConfig().with_ntt_core("hf-ntt")
+        narrow = wide.with_lanes(64)
+        assert core.cycles(task, wide) == core.cycles(task, narrow)
+
+    def test_digit_serial_fill_is_deepest(self):
+        fills = {
+            name: get_ntt_core(name).cycle_breakdown(
+                ntt_task(), HardwareConfig().with_ntt_core(name)
+            )["fill"]
+            for name in available_ntt_cores()
+        }
+        assert fills["digit-serial"] == max(fills.values())
+
+
+class TestCrossover:
+    """The variants genuinely trade off: each wins somewhere."""
+
+    def test_poseidon_wins_paper_point(self):
+        config = HardwareConfig()
+        task = ntt_task()  # N=65536, L=44, 512 lanes
+        poseidon = get_ntt_core("poseidon").cycles(task, config)
+        for other in ("hermes", "hf-ntt", "digit-serial"):
+            cfg = config.with_ntt_core(other)
+            assert poseidon < get_ntt_core(other).cycles(task, cfg)
+
+    def test_hermes_wins_small_transforms(self):
+        task = ntt_task(n=1024, limbs=1)
+        hermes = get_ntt_core("hermes").cycles(
+            task, HardwareConfig().with_ntt_core("hermes")
+        )
+        poseidon = get_ntt_core("poseidon").cycles(
+            task, HardwareConfig()
+        )
+        assert hermes < poseidon
+
+    def test_hf_ntt_wins_narrow_lanes(self):
+        task = ntt_task()
+        narrow = HardwareConfig().with_lanes(64)
+        hf = get_ntt_core("hf-ntt").cycles(
+            task, narrow.with_ntt_core("hf-ntt")
+        )
+        poseidon = get_ntt_core("poseidon").cycles(task, narrow)
+        assert hf < poseidon
+
+
+class TestResources:
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_resource_dict_shape(self, name):
+        res = get_ntt_core(name).resources(
+            HardwareConfig().with_ntt_core(name)
+        )
+        assert set(res) == {"lut", "ff", "dsp", "bram"}
+        assert all(isinstance(v, int) and v >= 0 for v in res.values())
+
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_whole_accelerator_fits_u280(self, name):
+        total = ResourceModel(
+            HardwareConfig().with_ntt_core(name)
+        ).total(include_scratchpad=False)
+        assert total.lut <= U280_BUDGET["lut"]
+        assert total.ff <= U280_BUDGET["ff"]
+        assert total.dsp <= U280_BUDGET["dsp"]
+        assert total.bram <= U280_BUDGET["bram"]
+
+    def test_resource_model_dispatches_on_variant(self):
+        default = ResourceModel(HardwareConfig()).ntt_core()
+        hf = ResourceModel(
+            HardwareConfig().with_ntt_core("hf-ntt")
+        ).ntt_core()
+        assert (hf.lut, hf.dsp) != (default.lut, default.dsp)
+
+    def test_digit_serial_is_dsp_light(self):
+        ds = ResourceModel(
+            HardwareConfig().with_ntt_core("digit-serial")
+        ).ntt_core()
+        poseidon = ResourceModel(HardwareConfig()).ntt_core()
+        assert ds.dsp < poseidon.dsp / 10
+
+
+class TestEnergy:
+    def test_poseidon_coefficient_matches_table(self):
+        assert (
+            get_ntt_core("poseidon").energy_per_element
+            == CORE_ENERGY_PER_ELEMENT["NTT"]
+        )
+
+    def test_variants_have_distinct_coefficients(self):
+        coeffs = {
+            get_ntt_core(name).energy_per_element
+            for name in available_ntt_cores()
+        }
+        assert len(coeffs) == len(available_ntt_cores())
+
+    def test_energy_model_uses_variant_coefficient(self):
+        model = EnergyModel(HardwareConfig().with_ntt_core("hf-ntt"))
+        assert model._core_energy_per_element["NTT"] == (
+            get_ntt_core("hf-ntt").energy_per_element
+        )
+        # The other core coefficients are untouched.
+        assert model._core_energy_per_element["MM"] == (
+            CORE_ENERGY_PER_ELEMENT["MM"]
+        )
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("name", sorted(NTT_CORE_REGISTRY))
+    def test_every_variant_validator_clean(self, name):
+        from repro.compiler.ops import FheOp, FheOpName
+        from repro.compiler.program import compile_trace
+        from repro.sim.engine import PoseidonSimulator
+        from repro.sim.validate import validate_schedule
+
+        program = compile_trace([
+            FheOp.make(FheOpName.CMULT, 1 << 14, 12, aux_limbs=4),
+            FheOp.make(FheOpName.ROTATION, 1 << 14, 12, aux_limbs=4),
+        ])
+        config = HardwareConfig().with_ntt_core(name)
+        result = PoseidonSimulator(config).run(program)
+        assert result.total_seconds > 0
+        validate_schedule(result, program=program, config=config)
