@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: test test-batched test-numpy properties golden coverage bench \
-	bench-smoke regress serve-sweep fleet-sweep passes-sweep ntt-cores \
-	lint examples tables profile quicktest all
+	bench-smoke regress serve-sweep fleet-sweep faults passes-sweep \
+	ntt-cores lint examples tables profile quicktest all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -68,6 +68,11 @@ serve-sweep:
 # near-linear-scaling and affinity-beats-round-robin gates.
 fleet-sweep:
 	$(PYTHON) benchmarks/bench_fleet_scaling.py
+
+# Chaos gate: mid-run instance crash + cold restart under steady load,
+# with conservation, bounded-p99, queue-recovery and determinism gates.
+faults:
+	$(PYTHON) benchmarks/bench_fault_recovery.py
 
 # Compiler pass-pipeline sweep: pass sets x Table VI workloads, with
 # the full-pipeline-improves-makespan and determinism gates.

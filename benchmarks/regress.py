@@ -89,6 +89,16 @@ SERVE_SATURATION_SMOKE = ("b8",)
 SERVE_OVERLOAD_RATE = 1200.0
 SERVE_COUNT = 64
 
+#: Routed-fleet entries: one fault-free cluster run (anchors the
+#: byte-determinism of the fleet path) and one crash-and-recover run
+#: (gates the recovery makespan — slower failover, detection, or
+#: retry machinery shows up here as simulated-time growth). Both stay
+#: in the smoke suite: the fault layer is exactly the kind of
+#: cross-cutting change that regresses quietly.
+CLUSTER_SEED = 7
+CLUSTER_COUNT = 48
+CLUSTER_RATE = 480.0
+
 
 def _table4_seconds(op_name: str) -> float:
     from repro.analysis.tables import (
@@ -257,6 +267,58 @@ def _serve_saturation_spr(spec: str) -> float:
     return 1.0 / result.throughput_rps
 
 
+def _cluster_makespan_seconds(spec: str) -> float:
+    """Fleet makespan, fault-free or through a crash-and-recover."""
+    from repro.serve import (
+        BatchPolicy,
+        ClusterPolicy,
+        ClusterSimulator,
+        FaultPlan,
+        InstanceCrash,
+        PoissonArrivals,
+        ResiliencePolicy,
+        RetryPolicy,
+        TenantPopulation,
+    )
+
+    faults = resilience = None
+    if spec == "crash-recovery":
+        faults = FaultPlan((
+            InstanceCrash(instance=0, at_seconds=0.02,
+                          restart_after=0.01),
+        ))
+        resilience = ResiliencePolicy(
+            deadline_seconds=0.25,
+            retry=RetryPolicy(
+                max_attempts=3, backoff_seconds=0.001, jitter=0.5
+            ),
+            detection_seconds=0.002,
+        )
+    sim = ClusterSimulator(
+        policy=ClusterPolicy(
+            instances=2, router="key-affinity", key_cache_capacity=4
+        ),
+        batch_policy=BatchPolicy(
+            max_batch_size=4, max_queue_delay=0.0005,
+            max_inflight_batches=2,
+        ),
+    )
+    result = sim.run(
+        "keyswitch",
+        PoissonArrivals(
+            rate=CLUSTER_RATE, count=CLUSTER_COUNT, seed=CLUSTER_SEED
+        ),
+        seed=CLUSTER_SEED,
+        population=TenantPopulation(tenants=8, key_sets=16, skew=0.8),
+        faults=faults,
+        resilience=resilience,
+    )
+    # Crash-truncated schedules self-check the same invariants, plus
+    # request conservation (no silently dropped requests).
+    result.validate()
+    return result.makespan_seconds
+
+
 def report_microntt_speedup(workloads: dict[str, dict]) -> None:
     """Print per-backend wall-clock speedups for the micro NTT entries."""
     names = {
@@ -324,6 +386,11 @@ def build_suite(smoke: bool) -> list[tuple[str, object]]:
         suite.append(
             (f"serve/saturation-{spec}",
              lambda spec=spec: _serve_saturation_spr(spec))
+        )
+    for spec in ("faultfree", "crash-recovery"):
+        suite.append(
+            (f"cluster/{spec}",
+             lambda spec=spec: _cluster_makespan_seconds(spec))
         )
     for b in MICRONTT_BACKENDS:
         suite.append(

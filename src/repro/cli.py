@@ -306,14 +306,82 @@ def cmd_serve(args) -> None:
         BatchPolicy,
         ClusterPolicy,
         ClusterSimulator,
+        FaultPlan,
+        HBMDegradation,
+        InstanceCrash,
         PoissonArrivals,
+        ResiliencePolicy,
+        RetryPolicy,
         ServingSimulator,
+        Straggler,
         TenantPopulation,
         TraceArrivals,
     )
 
-    fleet = args.instances > 1 or args.autoscale_max is not None
+    def _split(spec: str, flag: str, want: tuple[int, ...]) -> list[str]:
+        parts = spec.split(":")
+        if len(parts) not in want:
+            raise SystemExit(
+                f"error: {flag} expects "
+                f"{' or '.join(str(w) for w in want)} colon-separated "
+                f"fields, got {spec!r}"
+            )
+        return parts
+
+    faulted = bool(args.crash or args.straggler or args.hbm_derate)
+    resilient = (
+        args.deadline is not None
+        or args.retry_max is not None
+        or args.detect_delay > 0
+    )
+    fleet = (
+        args.instances > 1
+        or args.autoscale_max is not None
+        or faulted
+        or resilient
+    )
     try:
+        events = []
+        for spec in args.crash or ():
+            parts = _split(spec, "--crash", (2, 3))
+            events.append(InstanceCrash(
+                instance=int(parts[0]),
+                at_seconds=float(parts[1]),
+                restart_after=(
+                    float(parts[2]) if len(parts) == 3 else None
+                ),
+            ))
+        for spec in args.straggler or ():
+            parts = _split(spec, "--straggler", (4,))
+            events.append(Straggler(
+                instance=int(parts[0]),
+                start_seconds=float(parts[1]),
+                duration_seconds=float(parts[2]),
+                slowdown=float(parts[3]),
+            ))
+        for spec in args.hbm_derate or ():
+            parts = _split(spec, "--hbm-derate", (4,))
+            events.append(HBMDegradation(
+                instance=int(parts[0]),
+                start_seconds=float(parts[1]),
+                duration_seconds=float(parts[2]),
+                factor=float(parts[3]),
+            ))
+        plan = FaultPlan(tuple(events)) if events else None
+        resilience = None
+        if resilient:
+            retry = None
+            if args.retry_max is not None:
+                retry = RetryPolicy(
+                    max_attempts=args.retry_max,
+                    backoff_seconds=args.retry_backoff,
+                    jitter=args.retry_jitter,
+                )
+            resilience = ResiliencePolicy(
+                deadline_seconds=args.deadline,
+                retry=retry,
+                detection_seconds=args.detect_delay,
+            )
         policy = BatchPolicy(
             max_batch_size=args.max_batch,
             max_queue_delay=args.max_queue_delay,
@@ -365,6 +433,7 @@ def cmd_serve(args) -> None:
                     args.workload, arrivals,
                     seed=args.seed, population=population,
                     passes=args.passes,
+                    faults=plan, resilience=resilience,
                 )
             else:
                 result = ServingSimulator(config, policy).run(
@@ -380,7 +449,7 @@ def cmd_serve(args) -> None:
         if fleet:
             print(
                 "schedule invariants OK per instance "
-                f"({len(result.instances)} instances, "
+                f"({len({r.index for r in result.instances})} instances, "
                 f"{result.admitted} requests)"
             )
         else:
@@ -410,6 +479,20 @@ def cmd_serve(args) -> None:
             f"{s['key_upload_bytes'] / 1e9:.2f} GB uploaded, "
             f"{s['scale_events']} scale events"
         )
+        if plan is not None or resilience is not None:
+            print(
+                f"faults: {s['crashes']} crashes, {s['restarts']} "
+                f"restarts, {s['lost_events']} lost submissions, "
+                f"{s['retries']} retries"
+            )
+            print(
+                f"outcomes: {s['requests_completed']} completed, "
+                f"{s['requests_rejected']} rejected, "
+                f"{s['requests_abandoned']} abandoned, "
+                f"{s['requests_exhausted']} exhausted; "
+                f"goodput {s['goodput_rps']:.2f} req/s, "
+                f"SLO violations {s['slo_violation_rate']:.3f}"
+            )
     print(
         f"requests: {s['requests_arrived']} arrived, "
         f"{s['requests_admitted']} admitted, "
@@ -654,6 +737,53 @@ def _add_serve_options(sub) -> None:
         help="compiler pass pipeline for the request programs: 'none' "
              "(default), 'default' (full pipeline), or a "
              "comma-separated pass list (see docs/COMPILER.md)",
+    )
+    sub.add_argument(
+        "--crash", action="append", default=None, metavar="I:AT[:REST]",
+        help="inject an instance crash: instance index, crash time in "
+             "simulated seconds, and an optional restart delay "
+             "(e.g. 0:0.02:0.01); repeatable, forces fleet mode",
+    )
+    sub.add_argument(
+        "--straggler", action="append", default=None,
+        metavar="I:START:DUR:SLOW",
+        help="inject a straggler window: instance, start, duration, "
+             "compute slowdown factor >= 1 (e.g. 1:0.01:0.05:2.0); "
+             "repeatable, forces fleet mode",
+    )
+    sub.add_argument(
+        "--hbm-derate", action="append", default=None,
+        metavar="I:START:DUR:FACTOR",
+        help="inject an HBM-degradation window: instance, start, "
+             "duration, bandwidth factor in (0,1] "
+             "(e.g. 0:0.0:0.03:0.5); repeatable, forces fleet mode",
+    )
+    sub.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in simulated seconds from arrival; "
+             "queued requests past it are abandoned, completions past "
+             "it count as SLO violations (forces fleet mode)",
+    )
+    sub.add_argument(
+        "--retry-max", type=int, default=None,
+        help="client retry budget: total attempts per request after "
+             "losses to crashes (default: no retries)",
+    )
+    sub.add_argument(
+        "--retry-backoff", type=float, default=0.0005,
+        help="base retry backoff in simulated seconds, doubled per "
+             "attempt (default 0.0005)",
+    )
+    sub.add_argument(
+        "--retry-jitter", type=float, default=0.0,
+        help="seeded-deterministic jitter fraction added to each retry "
+             "delay, in [0,1] (default 0)",
+    )
+    sub.add_argument(
+        "--detect-delay", type=float, default=0.0,
+        help="failure-detection delay: the router keeps dispatching to "
+             "a crashed instance's last-known view for this many "
+             "seconds (default 0: instant detection)",
     )
     sub.add_argument(
         "--validate", action="store_true",

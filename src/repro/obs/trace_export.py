@@ -250,6 +250,10 @@ def write_serving_trace(serving, path, *, label: str = "") -> dict:
 #: use their own index as pid, so this just needs to be out of range).
 CLUSTER_PID = 1000
 
+#: Pid offset per engine epoch for crash-restarted instance lifetimes
+#: (epoch 1 of instance 2 renders at pid 2 + _EPOCH_PID_STRIDE).
+_EPOCH_PID_STRIDE = 10_000
+
 
 def cluster_trace_events(cluster) -> list[dict]:
     """Trace events for a routed fleet run (see
@@ -260,19 +264,30 @@ def cluster_trace_events(cluster) -> list[dict]:
     request track: async spans for admitted requests (``key_hit`` and
     routing in ``args``) and instant markers for arrivals the router
     sent there but admission rejected. A separate ``poseidon-router``
-    process carries the fleet-wide queue-depth counter and a marker per
-    autoscale event. Duck-types over
-    :class:`repro.serve.ClusterResult`.
+    process carries the fleet-wide queue-depth counter, a marker per
+    autoscale event, and — for faulted runs — ``crash``/``restart``
+    instant markers (also mirrored onto the affected instance's
+    process). Duck-types over :class:`repro.serve.ClusterResult`.
+
+    A crashed-and-restarted instance yields one report per engine
+    epoch; epoch > 0 lifetimes get their own trace process
+    (``poseidon-i<N>.e<epoch>``) at a shifted pid so their core/HBM
+    tracks do not collide with the original lifetime's.
     """
     events: list[dict] = []
     for report in cluster.instances:
+        epoch = getattr(report, "epoch", 0)
+        pid = report.index + epoch * _EPOCH_PID_STRIDE
+        name = f"poseidon-i{report.index}"
+        if epoch:
+            name = f"{name}.e{epoch}"
         events.extend(chrome_trace_events(
             report.sim,
-            pid=report.index,
-            process_name=f"poseidon-i{report.index}",
+            pid=pid,
+            process_name=name,
         ))
         events.append({
-            "ph": "M", "pid": report.index, "tid": TRACK_IDS["Requests"],
+            "ph": "M", "pid": pid, "tid": TRACK_IDS["Requests"],
             "name": "thread_name",
             "args": {"name": "Requests"},
         })
@@ -339,6 +354,16 @@ def cluster_trace_events(cluster) -> list[dict]:
             "name": f"scale-out to {count} instances",
             "cat": "autoscale",
         })
+    for t, kind, index in getattr(cluster, "fault_events", ()):
+        marker = {
+            "ph": "i", "tid": 0, "s": "p",
+            "ts": t * _SECONDS_TO_US,
+            "name": f"{kind} i{index}",
+            "cat": "fault",
+            "args": {"instance": index, "kind": kind},
+        }
+        events.append({**marker, "pid": CLUSTER_PID})
+        events.append({**marker, "pid": index})
     return events
 
 

@@ -27,7 +27,12 @@ The subsystem's parts:
 - :mod:`repro.serve.cluster` — the routed *fleet*: N warm engines on
   one master clock, modeled key-set uploads on cache misses,
   per-tenant fair admission, and optional autoscaling against the
-  queue-depth knee.
+  queue-depth knee;
+- :mod:`repro.serve.faults` — seeded, deterministic fault injection
+  and recovery: instance crashes (with cold-cache restarts),
+  straggler and HBM-degradation windows, client-side deadlines and
+  retry policies, and the request-conservation invariant the chaos
+  gate (``benchmarks/bench_fault_recovery.py``) enforces in CI.
 
 Results export through the existing :mod:`repro.obs` pipeline: a
 ``serve.*`` (or ``cluster.*``) metrics namespace and request-level
@@ -44,6 +49,17 @@ from repro.serve.cluster import (
     ClusterResult,
     ClusterSimulator,
     InstanceReport,
+)
+from repro.serve.estimate import ServiceEstimator
+from repro.serve.faults import (
+    FaultPlan,
+    HBMDegradation,
+    InstanceCrash,
+    OUTCOMES,
+    ResiliencePolicy,
+    RetryPolicy,
+    Straggler,
+    poisson_crashes,
 )
 from repro.serve.requests import (
     KEY_SET_BYTES,
@@ -71,18 +87,27 @@ __all__ = [
     "ClusterResult",
     "ClusterSimulator",
     "DynamicBatcher",
+    "FaultPlan",
+    "HBMDegradation",
+    "InstanceCrash",
     "InstanceReport",
     "KEY_SET_BYTES",
     "KeyCache",
+    "OUTCOMES",
     "PoissonArrivals",
     "REQUEST_MIXES",
     "ROUTER_POLICIES",
     "RequestRecord",
     "RequestType",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "ServiceEstimator",
     "ServingResult",
     "ServingSimulator",
+    "Straggler",
     "TenantPopulation",
     "TraceArrivals",
+    "poisson_crashes",
     "request_type",
     "resolve_request_mix",
 ]

@@ -154,6 +154,51 @@ class DynamicBatcher:
             return True  # work conservation: never idle with work queued
         return not arrivals_pending  # tail drain
 
+    def drain(self) -> list["Request"]:
+        """Remove and return *every* queued request, in arrival order.
+
+        The fault layer calls this when the instance crashes: queued
+        requests are lost with the instance and re-enter the cluster's
+        retry/abandon machinery.
+        """
+        lost = sorted(
+            self._queue,
+            key=lambda r: (r.arrival_seconds, r.request_id),
+        )
+        self._queue = []
+        return lost
+
+    def expired(self, now: float) -> list["Request"]:
+        """Remove and return queued requests whose deadline has passed.
+
+        A request still queued at ``deadline_seconds <= now`` will
+        never be served in time — the client has abandoned it, so it
+        leaves the queue (freeing backpressure capacity) instead of
+        wasting a batch slot.
+        """
+        out = [
+            r for r in self._queue
+            if r.deadline_seconds is not None
+            and r.deadline_seconds <= now
+        ]
+        if out:
+            gone = {r.request_id for r in out}
+            self._queue = [
+                r for r in self._queue if r.request_id not in gone
+            ]
+            out.sort(
+                key=lambda r: (r.arrival_seconds, r.request_id)
+            )
+        return out
+
+    def next_expiry(self) -> float | None:
+        """Earliest queued-request deadline, if any request has one."""
+        deadlines = [
+            r.deadline_seconds for r in self._queue
+            if r.deadline_seconds is not None
+        ]
+        return min(deadlines) if deadlines else None
+
     def take_batch(self, now: float) -> list["Request"]:
         """Remove and return the next batch, in admission order."""
         if self.policy.order == "sjf":

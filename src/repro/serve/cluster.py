@@ -20,7 +20,14 @@ per seed:
 - optional autoscaling activates standby instances against the
   queue-depth knee (the signal ``bench_serving_sweep.py`` measures);
 - optional per-tenant fair admission caps any tenant's share of an
-  instance's queue on top of the batcher's depth backpressure.
+  instance's queue on top of the batcher's depth backpressure;
+- optional deterministic fault injection
+  (:mod:`repro.serve.faults`): seeded crash/straggler/HBM-degradation
+  plans, client-side deadlines and retries, a health-filtered router
+  view with a modeled detection delay, and a request-conservation
+  guarantee — every arrival ends exactly one of completed / rejected /
+  abandoned / exhausted. Crashed instances restart as fresh engine
+  epochs with cold key caches, so failover pays real key re-uploads.
 
 All instance engines advance on one master clock: every decision
 instant is the earliest of the next arrival, any instance's batcher
@@ -36,13 +43,20 @@ router or key movement saturates.
 
 from __future__ import annotations
 
+import heapq
 import math
 import random
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SimulationError
 from repro.obs import metrics
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.estimate import ServiceEstimator
+from repro.serve.faults import (
+    OUTCOMES,
+    FaultPlan,
+    ResiliencePolicy,
+)
 from repro.serve.requests import (
     KEY_SET_BYTES,
     RequestType,
@@ -202,7 +216,14 @@ def _with_key_upload(
 
 @dataclass
 class _Instance:
-    """Mutable state of one fleet member during a run."""
+    """Mutable state of one fleet member during a run.
+
+    ``epoch`` counts rebirths of the same instance index (0 = original
+    hardware, +1 per crash restart). A crashed instance stays in the
+    fleet list with ``up=False`` until its restart replaces it;
+    ``ghost_view`` freezes its last pre-crash state for the router's
+    detection-delay window.
+    """
 
     index: int
     engine: ScheduleEngine
@@ -214,6 +235,11 @@ class _Instance:
     completion_ptr: int = 0
     batches: int = 0
     upload_bytes: int = 0
+    rejects: int = 0
+    epoch: int = 0
+    up: bool = True
+    down_since: float = 0.0
+    ghost_view: InstanceView | None = None
     source_ops: list = field(default_factory=list)
     by_submission: dict = field(default_factory=dict)
 
@@ -232,7 +258,13 @@ class _Instance:
 
 @dataclass
 class InstanceReport:
-    """Committed outcome of one instance after the run drains."""
+    """Committed outcome of one instance *epoch* after it drains.
+
+    A crash splits an instance index into several reports: one per
+    epoch, each carrying that lifetime's truncated-or-complete
+    schedule. ``crashed_seconds`` is when the epoch died (``None`` if
+    it survived to the end of the run).
+    """
 
     index: int
     sim: SimulationResult
@@ -246,6 +278,8 @@ class InstanceReport:
     key_misses: int
     key_evictions: int
     upload_bytes: int
+    epoch: int = 0
+    crashed_seconds: float | None = None
 
     @property
     def makespan_seconds(self) -> float:
@@ -265,6 +299,8 @@ class ClusterResult(RequestStats):
         config: HardwareConfig,
         policy: ClusterPolicy,
         batch_policy: BatchPolicy,
+        fault_events: list[tuple[float, str, int]] | None = None,
+        availability: dict | None = None,
     ):
         self.records = records
         self.instances = instances
@@ -273,6 +309,13 @@ class ClusterResult(RequestStats):
         self.config = config
         self.policy = policy
         self.batch_policy = batch_policy
+        #: ``(seconds, "crash" | "restart", instance index)`` in firing
+        #: order — the trace exporter turns these into instant markers.
+        self.fault_events = fault_events or []
+        #: Per-instance-index availability timeline: tuples of
+        #: ``(up_from, down_at)`` windows, ``down_at=None`` while still
+        #: up at the end of the run.
+        self.availability = availability or {}
 
     @property
     def makespan_seconds(self) -> float:
@@ -306,17 +349,120 @@ class ClusterResult(RequestStats):
                 out[rec.instance] = out.get(rec.instance, 0) + 1
         return out
 
+    # -- fault / resilience surface -----------------------------------
+    @property
+    def goodput(self) -> int:
+        """Completions that met their deadline (every completion when
+        no deadline policy was in force)."""
+        return sum(1 for r in self.records if r.slo_met)
+
+    @property
+    def goodput_rps(self) -> float:
+        """Within-deadline completions per simulated second."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.goodput / self.makespan_seconds
+
+    @property
+    def abandoned(self) -> int:
+        """Requests whose client deadline expired before service."""
+        return sum(1 for r in self.records if r.outcome == "abandoned")
+
+    @property
+    def exhausted(self) -> int:
+        """Requests lost to crashes with no retry attempts left."""
+        return sum(1 for r in self.records if r.outcome == "exhausted")
+
+    @property
+    def lost_events(self) -> int:
+        """Delivery attempts destroyed by crashes (queued or in
+        flight); one request can contribute several."""
+        return sum(r.lost for r in self.records)
+
+    @property
+    def total_retries(self) -> int:
+        """Re-deliveries actually scheduled after losses."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def crashes(self) -> int:
+        return sum(
+            1 for _, kind, _ in self.fault_events if kind == "crash"
+        )
+
+    @property
+    def restarts(self) -> int:
+        return sum(
+            1 for _, kind, _ in self.fault_events if kind == "restart"
+        )
+
+    @property
+    def slo_violations(self) -> int:
+        """Completions that finished past their deadline."""
+        return sum(1 for r in self.records if r.slo_met is False)
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Late completions as a fraction of all completions."""
+        done = self.completed
+        return self.slo_violations / done if done else 0.0
+
+    def check_conservation(self) -> None:
+        """Assert the request-conservation invariant.
+
+        Every arrival must have ended in exactly one terminal outcome
+        (:data:`repro.serve.faults.OUTCOMES`) and the outcome counts
+        must agree with the lifecycle fields — the "no silently
+        dropped requests" guarantee the chaos gate enforces.
+        """
+        counts = dict.fromkeys(OUTCOMES, 0)
+        for rec in self.records:
+            if rec.outcome not in counts:
+                raise SimulationError(
+                    f"request {rec.request_id} has no terminal outcome "
+                    f"(outcome={rec.outcome!r}, finish="
+                    f"{rec.finish_seconds!r}) — a request was silently "
+                    "dropped"
+                )
+            counts[rec.outcome] += 1
+        if counts["completed"] != self.completed:
+            raise SimulationError(
+                f"outcome bookkeeping drifted: {counts['completed']} "
+                f"'completed' outcomes vs {self.completed} finished "
+                "records"
+            )
+        if counts["rejected"] != self.rejected:
+            raise SimulationError(
+                f"outcome bookkeeping drifted: {counts['rejected']} "
+                f"'rejected' outcomes vs {self.rejected} rejected "
+                "records"
+            )
+        if sum(counts.values()) != self.arrived:
+            raise SimulationError(  # pragma: no cover - defensive
+                f"conservation violated: {self.arrived} arrivals != "
+                f"{counts}"
+            )
+
     def summary(self) -> dict:
         """Flat, JSON-ready headline numbers (deterministic)."""
         ordered = self.latencies()
         mean = sum(ordered) / len(ordered) if ordered else 0.0
         return {
-            "instances": len(self.instances),
+            "instances": len({r.index for r in self.instances}),
             "router": self.policy.router,
             "requests_arrived": self.arrived,
             "requests_admitted": self.admitted,
             "requests_rejected": self.rejected,
             "requests_completed": self.completed,
+            "requests_abandoned": self.abandoned,
+            "requests_exhausted": self.exhausted,
+            "goodput": self.goodput,
+            "goodput_rps": self.goodput_rps,
+            "lost_events": self.lost_events,
+            "retries": self.total_retries,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "slo_violation_rate": self.slo_violation_rate,
             "batches": sum(r.batches for r in self.instances),
             "throughput_rps": self.throughput_rps,
             "latency_mean_seconds": mean,
@@ -333,7 +479,9 @@ class ClusterResult(RequestStats):
             "per_instance": [
                 {
                     "instance": r.index,
+                    "epoch": r.epoch,
                     "activated_seconds": r.activated_seconds,
+                    "crashed_seconds": r.crashed_seconds,
                     "admitted": r.admitted,
                     "completed": r.completed,
                     "rejected": r.rejected,
@@ -348,8 +496,10 @@ class ClusterResult(RequestStats):
         }
 
     def validate(self) -> None:
-        """Check every instance's schedule against every engine
-        invariant (each instance is an independent accelerator)."""
+        """Check every instance epoch's schedule against every engine
+        invariant (each is an independent accelerator lifetime — a
+        crashed epoch contributes its truncated-at-crash schedule),
+        then the request-conservation invariant."""
         from repro.sim.validate import validate_schedule
 
         for report in self.instances:
@@ -358,6 +508,7 @@ class ClusterResult(RequestStats):
                 program=report.program,
                 config=self.config,
             )
+        self.check_conservation()
 
 
 class ClusterSimulator:
@@ -372,26 +523,16 @@ class ClusterSimulator:
         self.config = config or HardwareConfig()
         self.policy = policy or ClusterPolicy()
         self.batch_policy = batch_policy or BatchPolicy()
-        self._estimates: dict[str, float] = {}
+        self._estimator = ServiceEstimator()
 
     # ------------------------------------------------------------------
     def _service_estimate(
         self, engine: ScheduleEngine, job: RequestType
     ) -> float:
-        """Serial-execution estimate, cached per job type (identical
-        across instances — they share one hardware config)."""
-        est = self._estimates.get(job.name)
-        if est is None:
-            cfg = engine.config
-            est = sum(
-                max(
-                    engine.cores.task_cycles(t).cycles * cfg.cycle_seconds,
-                    engine.memory.task_timing(t).spad_seconds,
-                )
-                for t in job.program.tasks
-            )
-            self._estimates[job.name] = est
-        return est
+        """Serial-execution estimate, cached per resolved program
+        (identical across instances — they share one hardware
+        config)."""
+        return self._estimator.estimate(engine, job)
 
     def _fair_rejects(self, inst: _Instance, req: Request) -> bool:
         """Whether fair admission turns this arrival away.
@@ -413,9 +554,20 @@ class ClusterSimulator:
         now: float,
         records: list[RequestRecord],
         arrivals_pending: bool,
+        plan: FaultPlan | None = None,
     ) -> int:
         """Launch every batch the instance's policy allows at ``now``;
-        returns how many batches launched."""
+        returns how many batches launched.
+
+        With a fault plan, straggler / HBM-degradation windows open at
+        ``now`` derate the submitted work (admission-time sampling:
+        work admitted inside a window runs slow for its whole life,
+        work admitted outside runs at full speed).
+        """
+        compute_scale = hbm_scale = 1.0
+        if plan is not None:
+            compute_scale = plan.compute_scale(inst.index, now)
+            hbm_scale = plan.hbm_scale(inst.index, now)
         launched = 0
         while inst.batcher.should_launch(
             now, inst.inflight, arrivals_pending
@@ -448,6 +600,8 @@ class ClusterSimulator:
                         f"req{req.request_id}:{req.job.name}"
                         f"@i{inst.index}"
                     ),
+                    compute_scale=compute_scale,
+                    hbm_scale=hbm_scale,
                 )
                 rec.admit_seconds = now
                 rec.batch_index = batch.index
@@ -455,11 +609,62 @@ class ClusterSimulator:
                 rec._base = sub.base
                 rec._count = sub.count
                 inst.inflight_estimate += req.service_estimate
-                inst.by_submission[sub.index] = (
-                    rec, batch, req.service_estimate
-                )
+                inst.by_submission[sub.index] = (rec, batch, req)
                 inst.source_ops.extend(req.job.program.source_ops)
         return launched
+
+    def _archive(
+        self,
+        inst: _Instance,
+        *,
+        crashed_at: float | None = None,
+    ) -> InstanceReport:
+        """Commit one instance epoch into an :class:`InstanceReport`.
+
+        Live instances are drained first; a crashed instance's engine
+        is already truncated-and-dead, so its (validator-clean) partial
+        schedule is committed as-is. Per-request start times come from
+        each *completed* submission's post-crash ``base``/``count`` —
+        a lost submission's surviving prefix stays in the schedule but
+        never stamps the request record.
+        """
+        engine = inst.engine
+        if crashed_at is None:
+            engine.drain()
+        sim = engine.result()
+        admitted = 0
+        completed = 0
+        for sub in engine.submissions:
+            entry = inst.by_submission.get(sub.index)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            rec, _, _ = entry
+            admitted += 1
+            if sub.done:
+                completed += 1
+                if sub.count:
+                    rec.start_seconds = min(
+                        r.start
+                        for r in sim.task_records[
+                            sub.base:sub.base + sub.count
+                        ]
+                    )
+        return InstanceReport(
+            index=inst.index,
+            sim=sim,
+            program=engine.as_program(inst.source_ops),
+            activated_seconds=inst.activated_seconds,
+            batches=inst.batches,
+            admitted=admitted,
+            completed=completed,
+            rejected=inst.rejects,
+            key_hits=inst.cache.hits,
+            key_misses=inst.cache.misses,
+            key_evictions=inst.cache.evictions,
+            upload_bytes=inst.upload_bytes,
+            epoch=inst.epoch,
+            crashed_seconds=crashed_at,
+        )
 
     def run(
         self,
@@ -469,6 +674,8 @@ class ClusterSimulator:
         seed: int = 0,
         population: TenantPopulation | None = None,
         passes=None,
+        faults: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> ClusterResult:
         """Serve one arrival stream across the fleet to completion.
 
@@ -478,11 +685,23 @@ class ClusterSimulator:
             arrivals: an arrival process with a ``times()`` method.
             seed: drives the job-type and tenant/key-set draws (the
                 same seed and stream as the single-instance simulator,
-                so job sequences match across fleet sizes).
+                so job sequences match across fleet sizes) plus the
+                retry-jitter stream.
             population: tenant/key-set identity of the arrivals;
                 defaults to one tenant with one key set.
             passes: compiler pass pipeline applied to each job type's
                 program when ``workloads`` is a spec string.
+            faults: optional :class:`~repro.serve.faults.FaultPlan`.
+                Crashes lose the instance's queued + in-flight
+                requests and truncate its schedule; a restart is a
+                fresh engine epoch with a cold key cache. Restarts
+                only materialize while the run is live — a restart
+                falling after the last pending work never happens.
+            resilience: optional client-side
+                :class:`~repro.serve.faults.ResiliencePolicy`
+                (deadlines, retries, failure-detection delay). With
+                neither argument the run is byte-identical to the
+                fault-unaware simulator.
         """
         if isinstance(workloads, str):
             jobs = resolve_request_mix(workloads, passes=passes)
@@ -492,6 +711,7 @@ class ClusterSimulator:
             raise ParameterError("need at least one request job type")
         population = population or TenantPopulation()
         policy = self.policy
+        plan = faults if faults else None
         times = arrivals.times()
         job_rng = random.Random(f"repro.serve.jobs:{seed}")
         identities = population.draw(len(times), seed=seed)
@@ -514,11 +734,18 @@ class ClusterSimulator:
             ),
         )
 
+        rel_deadline = (
+            resilience.deadline_seconds
+            if resilience is not None else None
+        )
         requests: list[Request] = []
         records: list[RequestRecord] = []
         for rid, t in enumerate(times):
             job = jobs[0] if len(jobs) == 1 else job_rng.choice(jobs)
             tenant, key_set = identities[rid]
+            deadline = (
+                None if rel_deadline is None else t + rel_deadline
+            )
             requests.append(
                 Request(
                     request_id=rid,
@@ -529,6 +756,7 @@ class ClusterSimulator:
                     ),
                     tenant=tenant,
                     key_set=key_set,
+                    deadline_seconds=deadline,
                 )
             )
             records.append(
@@ -538,26 +766,138 @@ class ClusterSimulator:
                     arrival_seconds=t,
                     tenant=tenant,
                     key_set=key_set,
+                    deadline_seconds=deadline,
                 )
             )
 
         depth_series: list[tuple[float, int]] = [(0.0, 0)]
         scale_events: list[tuple[float, int]] = []
+        fault_events: list[tuple[float, str, int]] = []
+        availability: dict[int, list[list]] = {
+            i: [[0.0, None]] for i in range(policy.instances)
+        }
+        archived: list[InstanceReport] = []
         last_scale = 0.0
         ai = 0
         now = 0.0
         n = len(requests)
 
+        # Fault events as a heap so dynamically scheduled restarts
+        # merge deterministically with the plan's crashes.
+        fault_heap: list[tuple] = []
+        fault_seq = 0
+        if plan is not None:
+            for ev in plan.crashes:
+                fault_heap.append((
+                    ev.at_seconds, fault_seq, "crash",
+                    ev.instance, ev.restart_after,
+                ))
+                fault_seq += 1
+            heapq.heapify(fault_heap)
+        retry_heap: list[tuple[float, int, Request]] = []
+        max_attempts = (
+            resilience.max_attempts if resilience is not None else 1
+        )
+
         def total_depth() -> int:
             return sum(inst.batcher.depth for inst in instances)
 
-        while ai < n or any(
-            inst.batcher.depth or inst.inflight for inst in instances
+        def lose(req: Request, rec: RequestRecord, t: float) -> None:
+            """One delivery attempt destroyed at ``t`` (crash loss or
+            routed into a dead instance): reset the admission state
+            and retry, abandon, or exhaust."""
+            rec.lost += 1
+            rec.admit_seconds = None
+            rec.batch_index = None
+            rec.key_hit = None
+            rec._base = -1
+            rec._count = 0
+            if (
+                rec.deadline_seconds is not None
+                and t >= rec.deadline_seconds
+            ):
+                rec.outcome = "abandoned"
+                return
+            if req.attempt >= max_attempts:
+                rec.outcome = "exhausted"
+                return
+            # max_attempts > 1 implies resilience.retry is set.
+            delay = resilience.retry.delay_seconds(
+                req.attempt, seed=seed, request_id=req.request_id
+            )
+            due = t + delay
+            if (
+                rec.deadline_seconds is not None
+                and due >= rec.deadline_seconds
+            ):
+                rec.outcome = "abandoned"
+                return
+            rec.retries += 1
+            heapq.heappush(retry_heap, (
+                due,
+                req.request_id,
+                replace(
+                    req, arrival_seconds=due, attempt=req.attempt + 1
+                ),
+            ))
+
+        def routable_views(t: float) -> list[InstanceView]:
+            """Health-filtered router input: live views of up
+            instances, plus frozen pre-crash ghosts of instances that
+            are down but not yet detected as such."""
+            views = []
+            for inst in instances:
+                if inst.up:
+                    views.append(inst.view())
+                elif (
+                    inst.ghost_view is not None
+                    and resilience is not None
+                    and t < inst.down_since
+                    + resilience.detection_seconds
+                ):
+                    views.append(inst.ghost_view)
+            return views
+
+        def deliver(
+            req: Request, rec: RequestRecord, t: float
+        ) -> bool:
+            """Route one delivery attempt at ``t``; ``True`` means it
+            entered an instance's queue."""
+            views = routable_views(t)
+            if not views:
+                # The whole fleet is dark: the attempt dies in flight.
+                lose(req, rec, t)
+                return False
+            target = router.route(views, req)
+            inst = instances[target]
+            rec.instance = target
+            if not inst.up:
+                # A stale (ghost) view routed onto a dead instance.
+                lose(req, rec, t)
+                return False
+            if self._fair_rejects(inst, req):
+                rec.rejected = True
+                rec.reject_reason = "tenant-share"
+                inst.rejects += 1
+                return False
+            if not inst.batcher.offer(req):
+                rec.rejected = True
+                rec.reject_reason = "queue-full"
+                inst.rejects += 1
+                return False
+            return True
+
+        while ai < n or retry_heap or any(
+            inst.up and (inst.batcher.depth or inst.inflight)
+            for inst in instances
         ):
-            # Launch pass: every instance, in index order.
+            # Launch pass: every up instance, in index order.
             launched = 0
             for inst in instances:
-                launched += self._launch(inst, now, records, ai < n)
+                if inst.up:
+                    launched += self._launch(
+                        inst, now, records, ai < n, plan
+                    )
             if launched:
                 depth_series.append((now, total_depth()))
 
@@ -565,7 +905,13 @@ class ClusterSimulator:
             candidates = []
             if ai < n:
                 candidates.append(requests[ai].arrival_seconds)
+            if retry_heap:
+                candidates.append(retry_heap[0][0])
+            if fault_heap:
+                candidates.append(fault_heap[0][0])
             for inst in instances:
+                if not inst.up:
+                    continue
                 if (
                     inst.batcher.depth
                     and inst.inflight
@@ -574,6 +920,10 @@ class ClusterSimulator:
                     deadline = inst.batcher.next_deadline()
                     if deadline is not None:
                         candidates.append(deadline)
+                if rel_deadline is not None:
+                    expiry = inst.batcher.next_expiry()
+                    if expiry is not None:
+                        candidates.append(expiry)
                 next_event = inst.engine.next_event_time()
                 if next_event is not None:
                     candidates.append(next_event)
@@ -581,38 +931,104 @@ class ClusterSimulator:
                 break
             horizon = min(candidates)
 
-            # One master clock: every engine advances to the horizon.
+            # One master clock: every live engine advances.
             for inst in instances:
-                inst.engine.advance_until(horizon)
+                if inst.up:
+                    inst.engine.advance_until(horizon)
 
             # Completions release batch slots and backlog estimate.
             for inst in instances:
+                if not inst.up:
+                    continue
                 while inst.completion_ptr < len(inst.engine.completions):
                     sub = inst.engine.completions[inst.completion_ptr]
                     inst.completion_ptr += 1
-                    rec, batch, estimate = inst.by_submission[sub.index]
+                    rec, batch, req_c = inst.by_submission[sub.index]
                     rec.finish_seconds = sub.finish_seconds
-                    inst.inflight_estimate -= estimate
+                    inst.inflight_estimate -= req_c.service_estimate
                     batch.remaining -= 1
                     if batch.remaining == 0:
                         inst.inflight -= 1
+
+            # Fault events due at the horizon. A task or submission
+            # finishing exactly at the crash instant survived it (its
+            # completion was observed above).
+            while fault_heap and fault_heap[0][0] <= horizon:
+                t_ev, _, kind, idx, restart_after = heapq.heappop(
+                    fault_heap
+                )
+                if kind == "crash":
+                    if idx >= len(instances) or not instances[idx].up:
+                        continue  # never activated, or already down
+                    inst = instances[idx]
+                    inst.ghost_view = inst.view()
+                    doomed = inst.batcher.drain()
+                    crash = inst.engine.crash(t_ev)
+                    archived.append(
+                        self._archive(inst, crashed_at=t_ev)
+                    )
+                    fault_events.append((t_ev, "crash", idx))
+                    availability[idx][-1][1] = t_ev
+                    inst.up = False
+                    inst.down_since = t_ev
+                    inst.inflight = 0
+                    inst.inflight_estimate = 0.0
+                    for req_q in doomed:
+                        lose(req_q, records[req_q.request_id], t_ev)
+                    for sub in crash.lost:
+                        entry = inst.by_submission.get(sub.index)
+                        if entry is None:  # pragma: no cover
+                            continue
+                        rec_l, _, req_l = entry
+                        lose(req_l, rec_l, t_ev)
+                    depth_series.append((t_ev, total_depth()))
+                    if restart_after is not None:
+                        heapq.heappush(fault_heap, (
+                            t_ev + restart_after, fault_seq,
+                            "restart", idx, None,
+                        ))
+                        fault_seq += 1
+                else:  # restart: same index, next epoch, cold caches
+                    old = instances[idx]
+                    if old.up:  # pragma: no cover - defensive
+                        continue
+                    instances[idx] = _Instance(
+                        index=idx,
+                        engine=ScheduleEngine(self.config, epoch=t_ev),
+                        batcher=DynamicBatcher(self.batch_policy),
+                        cache=KeyCache(policy.key_cache_capacity),
+                        activated_seconds=t_ev,
+                        epoch=old.epoch + 1,
+                    )
+                    fault_events.append((t_ev, "restart", idx))
+                    availability[idx].append([t_ev, None])
+
+            # Queued requests whose client deadline passed are
+            # abandoned in place (frees backpressure capacity).
+            if rel_deadline is not None:
+                expired_any = False
+                for inst in instances:
+                    if not inst.up:
+                        continue
+                    for req_x in inst.batcher.expired(horizon):
+                        records[req_x.request_id].outcome = "abandoned"
+                        expired_any = True
+                if expired_any:
+                    depth_series.append((horizon, total_depth()))
+
+            # Retries due at the horizon re-enter routing.
+            while retry_heap and retry_heap[0][0] <= horizon:
+                due, rid, req_r = heapq.heappop(retry_heap)
+                if deliver(req_r, records[rid], due):
+                    depth_series.append((due, total_depth()))
 
             # Route arrivals at (or before) the horizon.
             while ai < n and requests[ai].arrival_seconds <= horizon:
                 req = requests[ai]
                 ai += 1
-                views = [inst.view() for inst in instances]
-                target = router.route(views, req)
-                inst = instances[target]
-                rec = records[req.request_id]
-                rec.instance = target
-                if self._fair_rejects(inst, req):
-                    rec.rejected = True
-                    rec.reject_reason = "tenant-share"
-                elif not inst.batcher.offer(req):
-                    rec.rejected = True
-                    rec.reject_reason = "queue-full"
-                else:
+                if deliver(
+                    req, records[req.request_id], req.arrival_seconds
+                ):
                     depth_series.append(
                         (req.arrival_seconds, total_depth())
                     )
@@ -630,9 +1046,10 @@ class ClusterSimulator:
                     )
                 ):
                     t_scale = max(now, req.arrival_seconds)
+                    new_idx = len(instances)
                     instances.append(
                         _Instance(
-                            index=len(instances),
+                            index=new_idx,
                             engine=ScheduleEngine(
                                 self.config, epoch=t_scale
                             ),
@@ -641,55 +1058,35 @@ class ClusterSimulator:
                             activated_seconds=t_scale,
                         )
                     )
+                    availability[new_idx] = [[t_scale, None]]
                     scale_events.append((t_scale, len(instances)))
                     last_scale = t_scale
             now = max(now, horizon)
 
-        reports: list[InstanceReport] = []
+        reports: list[InstanceReport] = list(archived)
         for inst in instances:
-            inst.engine.drain()
-            sim = inst.engine.result()
-            # Per-request start times: first dispatch among the
-            # request's tasks on this instance's schedule.
-            admitted = 0
-            completed = 0
-            for sub in inst.engine.submissions:
-                rec, _, _ = inst.by_submission[sub.index]
-                admitted += 1
-                if rec.finish_seconds is not None:
-                    completed += 1
-                if rec._base >= 0 and rec._count:
-                    rec.start_seconds = min(
-                        r.start
-                        for r in sim.task_records[
-                            rec._base:rec._base + rec._count
-                        ]
-                    )
-            reports.append(
-                InstanceReport(
-                    index=inst.index,
-                    sim=sim,
-                    program=inst.engine.as_program(inst.source_ops),
-                    activated_seconds=inst.activated_seconds,
-                    batches=inst.batches,
-                    admitted=admitted,
-                    completed=completed,
-                    rejected=sum(
-                        1 for r in records
-                        if r.rejected and r.instance == inst.index
-                    ),
-                    key_hits=inst.cache.hits,
-                    key_misses=inst.cache.misses,
-                    key_evictions=inst.cache.evictions,
-                    upload_bytes=inst.upload_bytes,
-                )
-            )
+            if inst.up:
+                reports.append(self._archive(inst))
+        reports.sort(key=lambda r: (r.index, r.epoch))
+
+        # Terminal outcome per record — the conservation invariant
+        # every faulted run is gated on.
+        for rec in records:
+            if rec.rejected:
+                rec.outcome = "rejected"
+            elif rec.finish_seconds is not None:
+                rec.outcome = "completed"
 
         result = ClusterResult(
             records=records,
             instances=reports,
             queue_depth_series=depth_series,
             scale_events=scale_events,
+            fault_events=fault_events,
+            availability={
+                idx: tuple(tuple(win) for win in wins)
+                for idx, wins in sorted(availability.items())
+            },
             config=self.config,
             policy=policy,
             batch_policy=self.batch_policy,
@@ -703,7 +1100,9 @@ class ClusterSimulator:
     @staticmethod
     def _record_metrics(reg, result: ClusterResult) -> None:
         """Publish the fleet run under the ``cluster.*`` namespace."""
-        reg.gauge("cluster.instances").set(len(result.instances))
+        reg.gauge("cluster.instances").set(
+            len({r.index for r in result.instances})
+        )
         reg.counter("cluster.requests.arrived").inc(result.arrived)
         reg.counter("cluster.requests.admitted").inc(result.admitted)
         reg.counter("cluster.requests.rejected").inc(result.rejected)
@@ -712,6 +1111,18 @@ class ClusterSimulator:
         reg.counter("cluster.key_cache.misses").inc(result.key_misses)
         reg.counter("cluster.key_upload.bytes").inc(result.upload_bytes)
         reg.counter("cluster.scale_events").inc(len(result.scale_events))
+        reg.counter("cluster.faults.crashes").inc(result.crashes)
+        reg.counter("cluster.faults.restarts").inc(result.restarts)
+        reg.counter("cluster.faults.lost_requests").inc(
+            result.lost_events
+        )
+        reg.counter("cluster.faults.retries").inc(result.total_retries)
+        reg.counter("cluster.faults.abandoned").inc(result.abandoned)
+        reg.counter("cluster.faults.exhausted").inc(result.exhausted)
+        reg.gauge("cluster.goodput_rps").set(result.goodput_rps)
+        reg.gauge("cluster.slo_violation_rate").set(
+            result.slo_violation_rate
+        )
         reg.gauge("cluster.throughput_rps").set(result.throughput_rps)
         reg.gauge("cluster.queue_depth.max").set(result.max_queue_depth)
         reg.gauge("cluster.makespan_seconds").set(result.makespan_seconds)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.errors import ParameterError
 from repro.obs import metrics
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.estimate import ServiceEstimator
 from repro.serve.requests import RequestType, resolve_request_mix
 from repro.sim.config import HardwareConfig
 from repro.sim.engine import (
@@ -45,6 +46,13 @@ class Request:
     cluster layer (:mod:`repro.serve.cluster`) routes and
     admission-controls on them; the single-instance simulator carries
     the defaults untouched.
+
+    ``deadline_seconds`` is the *absolute* instant the client abandons
+    the request (original arrival + the resilience policy's relative
+    deadline; ``None`` = no deadline) and ``attempt`` counts delivery
+    tries — a retry after a crash loss is a new :class:`Request` with
+    the same ``request_id`` and deadline but ``attempt + 1``. Fault-free
+    runs keep both defaults.
     """
 
     request_id: int
@@ -53,6 +61,8 @@ class Request:
     service_estimate: float
     tenant: str = "tenant0"
     key_set: int = 0
+    deadline_seconds: float | None = None
+    attempt: int = 1
 
 
 @dataclass
@@ -71,6 +81,16 @@ class RequestRecord:
     and ``reject_reason`` (``"queue-full"`` backpressure vs
     ``"tenant-share"`` fair-admission). Single-instance runs keep the
     defaults.
+
+    Faulted cluster runs additionally track resilience state:
+    ``deadline_seconds`` (absolute client deadline), ``lost`` (how many
+    times a crash destroyed this request in queue or in flight),
+    ``retries`` (re-deliveries actually scheduled) and ``outcome`` —
+    exactly one of :data:`repro.serve.faults.OUTCOMES` once the run
+    ends (the conservation invariant). On a loss, ``admit/batch``
+    state is reset; ``latency_seconds`` stays anchored at the
+    *original* arrival, so failover and cold key re-uploads show up in
+    the client-observed tail.
     """
 
     request_id: int
@@ -86,6 +106,10 @@ class RequestRecord:
     instance: int = 0
     key_hit: bool | None = None
     reject_reason: str | None = None
+    deadline_seconds: float | None = None
+    lost: int = 0
+    retries: int = 0
+    outcome: str | None = None
     _base: int = field(repr=False, default=-1)
     _count: int = field(repr=False, default=0)
 
@@ -102,6 +126,21 @@ class RequestRecord:
         if self.admit_seconds is None:
             return None
         return self.admit_seconds - self.arrival_seconds
+
+    @property
+    def slo_met(self) -> bool | None:
+        """Did the request complete within its deadline?
+
+        ``None`` for requests that never completed; ``True`` for
+        completions without a deadline. A completion past its deadline
+        is the "served too late" case — counted completed but an SLO
+        violation, excluded from goodput.
+        """
+        if self.finish_seconds is None:
+            return None
+        if self.deadline_seconds is None:
+            return True
+        return self.finish_seconds <= self.deadline_seconds
 
 
 @dataclass
@@ -242,25 +281,14 @@ class ServingSimulator:
     ):
         self.config = config or HardwareConfig()
         self.policy = policy or BatchPolicy()
-        self._estimates: dict[str, float] = {}
+        self._estimator = ServiceEstimator()
 
     # ------------------------------------------------------------------
     def _service_estimate(
         self, engine: ScheduleEngine, job: RequestType
     ) -> float:
-        """Serial-execution estimate (SJF key), cached per job type."""
-        est = self._estimates.get(job.name)
-        if est is None:
-            cfg = engine.config
-            est = sum(
-                max(
-                    engine.cores.task_cycles(t).cycles * cfg.cycle_seconds,
-                    engine.memory.task_timing(t).spad_seconds,
-                )
-                for t in job.program.tasks
-            )
-            self._estimates[job.name] = est
-        return est
+        """Serial-execution estimate (SJF key), cached per program."""
+        return self._estimator.estimate(engine, job)
 
     def run(
         self,

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.errors import SchedulingError
@@ -212,6 +212,22 @@ class Submission:
         return self.finish_seconds is not None
 
 
+@dataclass(frozen=True)
+class CrashReport:
+    """Outcome of :meth:`ScheduleEngine.crash`.
+
+    ``lost`` are the submissions whose completion had not been
+    *observed* by the crash instant — their unfinished tasks were
+    cancelled, their schedules truncated, and their ``finish_seconds``
+    reset to ``None``. The serving layer re-routes or abandons them.
+    """
+
+    at_seconds: float
+    lost: tuple[Submission, ...]
+    kept_tasks: int
+    dropped_tasks: int
+
+
 class ScheduleEngine:
     """Incremental ("warm") event-driven scheduler.
 
@@ -288,10 +304,19 @@ class ScheduleEngine:
         #: Submissions in the order they completed (serving layer polls
         #: this after each :meth:`advance_until`).
         self.completions: list[Submission] = []
+        # Set by crash(): a dead engine rejects submissions and time
+        # advances; its truncated schedule stays readable via result().
+        self._dead = False
 
     # -- admission -----------------------------------------------------
     def submit(
-        self, tasks, *, release: float = 0.0, label: str = ""
+        self,
+        tasks,
+        *,
+        release: float = 0.0,
+        label: str = "",
+        compute_scale: float = 1.0,
+        hbm_scale: float = 1.0,
     ) -> Submission:
         """Admit a task list; its tasks become ready no earlier than
         ``release``.
@@ -299,7 +324,23 @@ class ScheduleEngine:
         Dependency indices in ``tasks`` are local to the list (the
         compiler's convention) and are re-based onto the engine's
         global index space.
+
+        ``compute_scale`` multiplies each task's core occupancy and
+        ``hbm_scale`` each transfer's channel time — the fault layer's
+        straggler and HBM-degradation derates, applied at admission.
+        Both default to 1.0, in which case this path is arithmetically
+        untouched (no multiplication happens at all).
         """
+        if self._dead:
+            raise SchedulingError(
+                f"engine crashed at t={self._now}; restart as a fresh "
+                "epoch to submit again"
+            )
+        if compute_scale <= 0 or hbm_scale <= 0:
+            raise SchedulingError(
+                "derate scales must be positive, got "
+                f"compute_scale={compute_scale} hbm_scale={hbm_scale}"
+            )
         if release < self._now:
             raise SchedulingError(
                 f"cannot submit in the past: release {release} < "
@@ -335,12 +376,19 @@ class ScheduleEngine:
                         f"task {i} has forward/invalid dependency {dep}"
                     )
             mem = self.memory.task_timing(task)
+            if hbm_scale != 1.0 and mem.hbm_bytes:
+                mem = replace(
+                    mem, hbm_seconds=mem.hbm_seconds * hbm_scale
+                )
             self._tasks.append(task.shifted(base) if base else task)
             self._timings.append(timing)
             self._mems.append(mem)
-            self._durations.append(
-                max(timing.cycles * cfg.cycle_seconds, mem.spad_seconds)
+            duration = max(
+                timing.cycles * cfg.cycle_seconds, mem.spad_seconds
             )
+            if compute_scale != 1.0:
+                duration *= compute_scale
+            self._durations.append(duration)
             uniq = {dep + base for dep in task.depends_on}
             self._remaining.append(len(uniq))
             self._dependents.append([])
@@ -499,6 +547,112 @@ class ScheduleEngine:
         """Process all pending events (run the admitted work dry)."""
         while self._events:
             self._step()
+
+    # -- failure -------------------------------------------------------
+    def crash(self, at: float) -> CrashReport:
+        """Fail the instance at simulated time ``at``.
+
+        Everything that finished by ``at`` stays in the schedule;
+        every task still running or not yet started is cancelled and
+        *erased* (a crashed accelerator leaves no partial results —
+        the work must be redone elsewhere). Submissions whose
+        completion had not been observed by ``at`` are reported lost
+        with ``finish_seconds`` reset to ``None``; their kept prefix of
+        finished tasks remains in the truncated schedule, so
+        :meth:`result` and :meth:`as_program` stay mutually consistent
+        and the truncated schedule passes
+        :func:`repro.sim.validate.validate_schedule`.
+
+        The engine is dead afterwards: :meth:`submit` raises. Recovery
+        is a *new* engine at a later ``epoch=`` (cluster restart
+        semantics — fresh queues, cold caches).
+        """
+        if self._dead:
+            raise SchedulingError(
+                f"engine already crashed at t={self._now}"
+            )
+        if at < self._now:
+            raise SchedulingError(
+                f"cannot crash in the past: {at} < engine time "
+                f"{self._now}"
+            )
+        # Events at exactly ``at`` land before the failure: a task (or
+        # submission) finishing at the crash instant survived it.
+        self.advance_until(at)
+        keep = [
+            i for i, end in enumerate(self._end)
+            if end is not None and end <= at
+        ]
+        dropped = len(self._tasks) - len(keep)
+        remap = {old: new for new, old in enumerate(keep)}
+        # A kept task's dependencies are provably kept (dep end <=
+        # task ready <= start <= end <= at), so the remap is total
+        # over every dependency edge we keep.
+        new_tasks = []
+        for old in keep:
+            task = self._tasks[old]
+            if task.depends_on:
+                deps = tuple(remap[d] for d in task.depends_on)
+                if deps != task.depends_on:
+                    task = replace(task, depends_on=deps)
+            new_tasks.append(task)
+        self._tasks = new_tasks
+        self._timings = [self._timings[o] for o in keep]
+        self._mems = [self._mems[o] for o in keep]
+        self._durations = [self._durations[o] for o in keep]
+        self._ready = [self._ready[o] for o in keep]
+        self._start = [self._start[o] for o in keep]
+        self._hbm_span = [self._hbm_span[o] for o in keep]
+        self._end = [self._end[o] for o in keep]
+        self._instance_of = [self._instance_of[o] for o in keep]
+        self._owner = [self._owner[o] for o in keep]
+        self._remaining = [0] * len(keep)
+        self._dependents = [[] for _ in keep]
+        for i, task in enumerate(self._tasks):
+            for dep in set(task.depends_on):
+                self._dependents[dep].append(i)
+        self._hbm_intervals = [
+            self._hbm_span[i]
+            for i in range(len(keep))
+            if self._mems[i].hbm_bytes > 0
+        ]
+        # Re-base every submission onto the truncated index space.
+        # Bases are contiguous and ``keep`` ascending, so one cursor
+        # walk assigns each kept task to its owning submission; a lost
+        # submission keeps its finished prefix (possibly empty).
+        lost = []
+        cursor = 0
+        for sub in self.submissions:
+            sub_end = sub.base + sub.count
+            new_base = cursor
+            while cursor < len(keep) and keep[cursor] < sub_end:
+                cursor += 1
+            if sub.finish_seconds is None or sub.finish_seconds > at:
+                # Either still running, or committed analytically for
+                # a future instant the crash pre-empted — the serving
+                # layer never observed the completion, so it is lost.
+                sub.finish_seconds = None
+                lost.append(sub)
+            sub.base = new_base
+            sub.count = cursor - new_base
+        self._events.clear()
+        self._release_times.clear()
+        for queue in self._core_queue.values():
+            queue.clear()
+        self._hbm_queue.clear()
+        self._finished = len(keep)
+        self._dead = True
+        return CrashReport(
+            at_seconds=at,
+            lost=tuple(lost),
+            kept_tasks=len(keep),
+            dropped_tasks=dropped,
+        )
+
+    @property
+    def dead(self) -> bool:
+        """True once :meth:`crash` has fired."""
+        return self._dead
 
     @property
     def now(self) -> float:

@@ -126,6 +126,8 @@ class TestRegressDriver:
             "fig10/k=3",
             "serve/keyswitch-r300-b8",
             "serve/saturation-b8",
+            "cluster/faultfree",
+            "cluster/crash-recovery",
             "microntt/N4096-L8/reference",
             "microntt/N4096-L8/batched",
             "microntt/N4096-L8/numpy",

@@ -1,0 +1,143 @@
+"""Autoscaler behavior: the queue-depth-knee scale-out policy.
+
+Load calibration follows ``tests/serve/test_cluster.py``: one
+keyswitch request is ~3 ms of serial work, so a 2000 req/s burst on a
+single starting instance pushes the fleet queue far past the default
+``queue_high`` knee and forces scale-outs.
+"""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serve import (
+    AutoscalerPolicy,
+    BatchPolicy,
+    ClusterPolicy,
+    ClusterSimulator,
+    PoissonArrivals,
+    TenantPopulation,
+)
+
+POLICY = BatchPolicy(
+    max_batch_size=4, max_queue_delay=0.0005, max_inflight_batches=2
+)
+
+
+def run_autoscaled(
+    *,
+    autoscaler,
+    instances=1,
+    rate=2000.0,
+    count=48,
+    seed=7,
+):
+    sim = ClusterSimulator(
+        policy=ClusterPolicy(
+            instances=instances,
+            router="least-queue",
+            key_cache_capacity=4,
+            autoscaler=autoscaler,
+        ),
+        batch_policy=POLICY,
+    )
+    result = sim.run(
+        "keyswitch",
+        PoissonArrivals(rate=rate, count=count, seed=seed),
+        seed=seed,
+        population=TenantPopulation(tenants=4, key_sets=4),
+    )
+    result.validate()
+    return result
+
+
+class TestPolicyValidation:
+    def test_zero_ceiling_rejected(self):
+        with pytest.raises(ParameterError):
+            AutoscalerPolicy(max_instances=0)
+
+    def test_nonpositive_knee_rejected(self):
+        with pytest.raises(ParameterError):
+            AutoscalerPolicy(max_instances=2, queue_high=0.0)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ParameterError):
+            AutoscalerPolicy(max_instances=2, cooldown_seconds=-0.1)
+
+    def test_ceiling_below_floor_rejected(self):
+        with pytest.raises(ParameterError):
+            ClusterPolicy(
+                instances=4,
+                autoscaler=AutoscalerPolicy(max_instances=2),
+            )
+
+
+class TestScaleOut:
+    def test_ceiling_is_never_exceeded(self):
+        result = run_autoscaled(
+            autoscaler=AutoscalerPolicy(
+                max_instances=3, cooldown_seconds=0.0
+            ),
+        )
+        assert len({r.index for r in result.instances}) <= 3
+        assert len(result.scale_events) <= 2  # 1 -> at most 3
+
+    def test_scale_events_monotone(self):
+        result = run_autoscaled(
+            autoscaler=AutoscalerPolicy(
+                max_instances=4, cooldown_seconds=0.0
+            ),
+        )
+        assert result.scale_events, "burst should trigger scale-out"
+        times = [t for t, _ in result.scale_events]
+        sizes = [n for _, n in result.scale_events]
+        assert times == sorted(times)
+        # Scale-down is absent by design: fleet size only grows, one
+        # instance per event.
+        assert sizes == list(range(2, 2 + len(sizes)))
+
+    def test_cooldown_spaces_scale_outs(self):
+        hot = run_autoscaled(
+            autoscaler=AutoscalerPolicy(
+                max_instances=4, cooldown_seconds=0.0
+            ),
+        )
+        cold = run_autoscaled(
+            autoscaler=AutoscalerPolicy(
+                max_instances=4, cooldown_seconds=0.05
+            ),
+        )
+        assert len(hot.scale_events) >= 2
+        # The long cooldown blocks the follow-up scale-outs the
+        # zero-cooldown run performed inside the same burst.
+        assert len(cold.scale_events) < len(hot.scale_events)
+        for t0, t1 in zip(
+            [t for t, _ in cold.scale_events],
+            [t for t, _ in cold.scale_events][1:],
+        ):
+            assert t1 - t0 >= 0.05
+
+    def test_midrun_birth_starts_at_scale_time(self):
+        result = run_autoscaled(
+            autoscaler=AutoscalerPolicy(
+                max_instances=3, cooldown_seconds=0.0
+            ),
+        )
+        assert result.scale_events
+        by_index = {r.index: r for r in result.instances}
+        for t_scale, size in result.scale_events:
+            born = by_index[size - 1]
+            assert born.activated_seconds == pytest.approx(t_scale)
+            # The newborn engine's epoch starts at its birth instant,
+            # so none of its work can predate the scale-out.
+            for rec in born.sim.task_records:
+                assert rec.start >= t_scale
+
+    def test_no_scaling_when_under_knee(self):
+        result = run_autoscaled(
+            autoscaler=AutoscalerPolicy(max_instances=4),
+            instances=2,
+            rate=100.0,
+            count=16,
+        )
+        assert result.scale_events == []
+        assert len({r.index for r in result.instances}) == 2

@@ -52,6 +52,8 @@ def _measure(name: str) -> float:
                 spec.removeprefix("saturation-")
             )
         return regress._serve_makespan_seconds(spec)
+    if family == "cluster":
+        return regress._cluster_makespan_seconds(spec)
     raise AssertionError(f"no measurement thunk for baseline {name!r}")
 
 
@@ -60,7 +62,8 @@ def test_covers_every_simulated_entry():
     assert CASES, "baseline.json has no simulated entries"
     families = {name.partition("/")[0] for name in CASES}
     assert families <= {
-        "table4", "table6", "table6-passes", "fig10", "serve"
+        "table4", "table6", "table6-passes", "fig10", "serve",
+        "cluster",
     }
 
 
